@@ -1,0 +1,41 @@
+"""Ablation: analysis-grid resolution vs region-area fidelity and speed.
+
+The grid is the accuracy/cost knob of the whole pipeline.  Compare a disk
+region's rasterised area against the analytic spherical-cap area at
+several resolutions: error should shrink with the cell size while cost
+grows with the cell count.
+"""
+
+import time
+
+from conftest import emit
+from repro.geo import Grid, Region
+from repro.geodesy import SphericalDisk
+
+RESOLUTIONS = (4.0, 2.0, 1.0)
+DISK = SphericalDisk(lat=48.0, lon=11.0, radius_km=1500.0)
+
+
+def test_bench_ablation_grid_resolution(benchmark):
+    def sweep():
+        rows = []
+        for resolution in RESOLUTIONS:
+            grid = Grid(resolution_deg=resolution)
+            start = time.perf_counter()
+            region = Region.from_disk(grid, DISK)
+            elapsed = time.perf_counter() - start
+            error = abs(region.area_km2() - DISK.area_km2()) / DISK.area_km2()
+            rows.append((resolution, grid.n_cells, error, elapsed))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit("Ablation (grid resolution) — disk area error vs cost\n" + "\n".join(
+        f"  {res:4.1f} deg: {cells:7d} cells, area error {err:6.2%}, "
+        f"{sec * 1000:6.1f} ms"
+        for res, cells, err, sec in rows))
+    # Finer grids are more accurate.
+    errors = [err for _, _, err, _ in rows]
+    assert errors[-1] <= errors[0]
+    assert errors[-1] < 0.05       # 1 degree is within 5% of analytic
+    # Cell counts grow quadratically with resolution.
+    assert rows[-1][1] == 16 * rows[0][1]

@@ -1,0 +1,54 @@
+"""Ablation: the CBG++ slowline constraint, isolated.
+
+Compares plain CBG against CBG with slowline-bounded bestlines (but still
+naive all-disk intersection) on the crowdsourced hosts.  The slowline can
+only widen disks whose bestline was slower than 84.5 km/ms, so coverage
+must not decrease and regions must not shrink.
+"""
+
+import numpy as np
+
+from conftest import emit
+from repro.core import CBG
+from repro.experiments import fig09_algorithms
+
+
+class CbgSlowlineOnly(CBG):
+    """CBG whose bestlines honour the slowline — no subset multilateration."""
+
+    name = "cbg+slowline"
+    apply_slowline = True
+
+
+def test_bench_ablation_slowline(benchmark, scenario):
+    hosts = scenario.crowd[:20]
+    plain = CBG(scenario.calibrations, scenario.worldmap)
+    slowline = CbgSlowlineOnly(scenario.calibrations, scenario.worldmap)
+
+    def compare():
+        rng = np.random.default_rng(5)
+        rows = []
+        for host in hosts:
+            observations = fig09_algorithms.measure_crowd_host(
+                scenario, host, rng)
+            p_plain = plain.predict(observations)
+            p_slow = slowline.predict(observations)
+            rows.append((
+                p_plain.miss_distance_km(host.host.lat, host.host.lon),
+                p_slow.miss_distance_km(host.host.lat, host.host.lon),
+                p_plain.area_km2(),
+                p_slow.area_km2(),
+            ))
+        return rows
+
+    rows = benchmark.pedantic(compare, rounds=1, iterations=1)
+    plain_cover = sum(1 for r in rows if r[0] == 0) / len(rows)
+    slow_cover = sum(1 for r in rows if r[1] == 0) / len(rows)
+    emit(f"Ablation (slowline) — {len(rows)} hosts\n"
+         f"  coverage: plain CBG {plain_cover:.0%}, +slowline {slow_cover:.0%}\n"
+         f"  median area: plain {np.median([r[2] for r in rows]):,.0f} km2, "
+         f"+slowline {np.median([r[3] for r in rows]):,.0f} km2")
+    # The slowline never hurts coverage and never shrinks a region.
+    assert slow_cover >= plain_cover
+    for _, _, area_plain, area_slow in rows:
+        assert area_slow >= area_plain - 1e-6

@@ -1,0 +1,51 @@
+"""Ablation: two-phase landmark selection vs measuring every landmark.
+
+Two-phase measurement exists for speed and politeness (fewer probes, load
+spread); the ablation quantifies what it costs in precision.  Expected
+shape: far fewer measurements, same continent-level verdicts, moderately
+larger regions.
+"""
+
+import numpy as np
+
+from conftest import emit
+from repro.core import CBGPlusPlus, ProxyMeasurer, TwoPhaseDriver, TwoPhaseSelector
+
+
+def test_bench_ablation_two_phase(benchmark, scenario):
+    servers = [s for s in scenario.all_servers()[:30]]
+    algorithm = CBGPlusPlus(scenario.calibrations, scenario.worldmap)
+    selector = TwoPhaseSelector(scenario.atlas, seed=4)
+    driver = TwoPhaseDriver(selector, algorithm)
+    all_anchors = scenario.atlas.anchors
+
+    def compare():
+        rng = np.random.default_rng(4)
+        rows = []
+        for server in servers:
+            measurer = ProxyMeasurer(scenario.network, scenario.client,
+                                     server, seed=server.host.host_id)
+            two_phase = driver.locate(measurer.observe, rng)
+            n_two_phase = (len(two_phase.phase1_observations)
+                           + len(two_phase.phase2_observations))
+            full_observations = measurer.observe(all_anchors, rng)
+            full = algorithm.predict(full_observations)
+            rows.append((two_phase.prediction.region.area_km2(),
+                         full.region.area_km2(),
+                         n_two_phase, len(full_observations)))
+        return rows
+
+    rows = benchmark.pedantic(compare, rounds=1, iterations=1)
+    two_areas = np.array([r[0] for r in rows])
+    full_areas = np.array([r[1] for r in rows])
+    emit(f"Ablation (two-phase) — {len(rows)} proxied targets\n"
+         f"  measurements per target: two-phase {rows[0][2]}, "
+         f"all-anchors {rows[0][3]}\n"
+         f"  median region area: two-phase {np.median(two_areas):,.0f} km2, "
+         f"all-anchors {np.median(full_areas):,.0f} km2")
+    # Two-phase uses fewer measurements (at paper scale, ~49 of 250; the
+    # reduced test constellation narrows the gap)...
+    assert rows[0][2] <= rows[0][3] * 0.6
+    # ...at a bounded precision cost: regions grow, but not absurdly.
+    ratio = np.median(two_areas) / max(np.median(full_areas), 1.0)
+    assert ratio < 50.0

@@ -1,0 +1,26 @@
+"""Extension bench (§8): RTT manipulation vs the algorithms."""
+
+from conftest import emit
+from repro.experiments import ext_adversary
+
+
+def test_bench_ext_adversarial_proxy(benchmark, scenario):
+    experiment = benchmark.pedantic(
+        ext_adversary.run, args=(scenario,), rounds=1, iterations=1)
+    emit(ext_adversary.format_table(experiment))
+
+    # Gill et al. (quoted in the paper): added delay can displace
+    # sophisticated models, and "more sophisticated delay-distance models
+    # are more susceptible to this".
+    delay_cbgpp = experiment.outcome("add-delay", "cbg++")
+    delay_spotter = experiment.outcome("add-delay", "spotter")
+    assert delay_cbgpp.covers_truth          # disks only grow under delay
+    assert not delay_spotter.covers_truth    # min-speed model displaced
+    assert delay_spotter.displaced
+
+    # Abdou et al.-style forgery (easier for a man-in-the-middle proxy):
+    # the prediction can be moved anywhere, defeating every algorithm.
+    for algorithm in ("cbg++", "spotter"):
+        forged = experiment.outcome("forge-synack", algorithm)
+        assert not forged.covers_truth
+        assert forged.miss_pretend_km < forged.miss_truth_km

@@ -1,0 +1,25 @@
+"""Extension bench (§4.2): which measurement channels actually work.
+
+Not a paper figure, but the paper's measured percentages ("roughly 90%
+ignore ICMP...") are the motivation for its entire tool design; this bench
+re-derives them from the simulated fleet.
+"""
+
+from conftest import emit
+from repro.netsim import survey_measurement_channels
+
+
+def test_bench_ext_measurement_channels(benchmark, scenario):
+    stats = benchmark.pedantic(
+        survey_measurement_channels,
+        args=(scenario.network, scenario.all_servers(), scenario.client),
+        rounds=1, iterations=1)
+    emit("Extension — measurement channels (paper section 4.2)\n"
+         f"  answers ICMP ping          {stats['icmp_ping']:.0%} (paper ~10%)\n"
+         f"  gateway visible            {stats['gateway_visible']:.0%} (paper ~10%)\n"
+         f"  traceroute through tunnel  {stats['traceroute_through']:.0%} (paper ~2/3)\n"
+         f"  TCP connect to port 80     {stats['tcp_port_80']:.0%}")
+    assert 0.05 <= stats["icmp_ping"] <= 0.2
+    assert 0.05 <= stats["gateway_visible"] <= 0.2
+    assert 0.5 <= stats["traceroute_through"] <= 0.8
+    assert stats["tcp_port_80"] == 1.0

@@ -1,0 +1,19 @@
+"""Extension bench (§8.1): test-bench servers, direct vs indirect error."""
+
+from conftest import emit
+from repro.experiments import ext_testbench
+
+
+def test_bench_ext_testbench_servers(benchmark, scenario):
+    result = benchmark.pedantic(
+        ext_testbench.run, args=(scenario,), kwargs={"n_servers": 10},
+        rounds=1, iterations=1)
+    emit(ext_testbench.format_table(result))
+
+    # The indirection's error budget is bounded: predictions stay at
+    # border scale, never continent scale, and the tunnel's upward bias
+    # never shrinks regions on the median.
+    assert result.worst_miss_km(indirect=True) < 1500.0
+    assert result.median_centroid_offset_km() < 500.0
+    assert result.median_area_inflation() >= 0.8
+    assert 0.4 <= result.eta <= 0.6

@@ -1,0 +1,20 @@
+"""Figure 2 bench: per-landmark calibration model fitting."""
+
+from conftest import emit
+from repro.experiments import fig02_calibration
+from repro.geodesy import BASELINE_SPEED_KM_PER_MS, SLOWLINE_SPEED_KM_PER_MS
+
+
+def test_bench_fig02_calibration(benchmark, scenario):
+    figure = benchmark.pedantic(
+        fig02_calibration.run, args=(scenario,), rounds=1, iterations=1)
+    emit(fig02_calibration.format_table(figure))
+    # Shape assertions from the paper's figure: the bestline sits between
+    # the slowline and the baseline, below every calibration point.
+    assert SLOWLINE_SPEED_KM_PER_MS <= figure.bestline_speed_slowline
+    assert figure.bestline_speed <= BASELINE_SPEED_KM_PER_MS + 1e-9
+    assert figure.points_below_bestline() == 0
+    # Spotter's mu curve is increasing in delay.
+    delays = sorted(figure.spotter_mu_at)
+    mus = [figure.spotter_mu_at[t] for t in delays]
+    assert mus == sorted(mus)

@@ -1,0 +1,17 @@
+"""Figure 4 bench: CLI vs web tool on Linux."""
+
+from conftest import emit
+from repro.experiments import fig04_tools
+
+
+def test_bench_fig04_linux_tools(benchmark, scenario):
+    result = benchmark.pedantic(
+        fig04_tools.run, args=(scenario,), kwargs={"os": "linux"},
+        rounds=1, iterations=1)
+    emit(fig04_tools.format_table(result))
+    # Paper: two-RTT slope is 1.96x the one-RTT slope; ANOVA finds no
+    # significant difference among the tools on Linux.
+    assert 1.7 <= result.slope_ratio <= 2.3
+    assert not result.tool_effect.significant
+    assert result.pooled_r_squared > 0.9
+    assert result.n_outliers == 0  # high outliers are a Windows phenomenon

@@ -1,0 +1,28 @@
+"""Figure 6 bench: the Windows high outliers."""
+
+import numpy as np
+
+from conftest import emit
+from repro.experiments import fig04_tools
+
+
+def test_bench_fig06_high_outliers(benchmark, scenario):
+    result = benchmark.pedantic(
+        fig04_tools.run, args=(scenario,), kwargs={"os": "windows", "seed": 3},
+        rounds=1, iterations=1)
+    correlation = fig04_tools.outlier_distance_correlation(result)
+    emit(fig04_tools.format_table(result)
+         + f"\n  outlier RTT vs distance correlation: {correlation}")
+    # Paper: outliers are "much slower than can be attributed to even two
+    # round-trips, and their values are primarily dependent on the browser
+    # they were measured with, rather than the distance".
+    assert result.n_outliers >= 5
+    outlier_rtts = [s.rtt_ms for s in result.outliers]
+    clean_rtts = [s.rtt_ms for s in result.samples if not s.is_outlier]
+    assert np.median(outlier_rtts) > 3 * np.median(clean_rtts)
+    if correlation is not None:
+        assert abs(correlation) < 0.5  # distance explains little
+    # Browser means differ substantially (edge slowest in the model).
+    means = result.outlier_mean_by_browser
+    if "edge-17" in means and "chrome-68" in means:
+        assert means["edge-17"] > means["chrome-68"]

@@ -1,0 +1,25 @@
+"""Figure 10 bench: bestline/baseline estimate-to-true-distance ratios."""
+
+from conftest import emit
+from repro.experiments import fig10_underestimation
+
+
+def test_bench_fig10_underestimation(benchmark, scenario):
+    result = benchmark.pedantic(
+        fig10_underestimation.run, args=(scenario,), rounds=1, iterations=1)
+    emit(fig10_underestimation.format_table(result))
+    best_rate = result.bestline_underestimate_rate()
+    base_rate = result.baseline_underestimate_rate()
+    # Paper: "A small fraction of all bestline estimates are still too
+    # short, and for very short distances this can happen for baseline
+    # estimates as well."
+    assert best_rate < 0.10          # small fraction
+    assert base_rate <= best_rate    # baseline is the safer bound
+    # Underestimates concentrate at short range.
+    bands = result.underestimates_by_distance()
+    short_band_rate = bands[0][1]
+    long_band_rates = [rate for _, rate, _ in bands[1:]]
+    assert short_band_rate >= max(long_band_rates) - 1e-9
+    # Ratios are overwhelmingly >= 1 (overestimates).
+    median_ratio = dict(result.ratio_percentiles("bestline"))[0.5]
+    assert median_ratio >= 1.0

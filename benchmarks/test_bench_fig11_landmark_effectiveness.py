@@ -1,0 +1,23 @@
+"""Figure 11 bench: which measurements constrain the prediction region."""
+
+from conftest import emit
+from repro.experiments import fig11_effectiveness
+
+
+def test_bench_fig11_effectiveness(benchmark, scenario):
+    hosts = scenario.crowd[:12]
+    result = benchmark.pedantic(
+        fig11_effectiveness.run, args=(scenario,),
+        kwargs={"hosts": hosts}, rounds=1, iterations=1)
+    emit(fig11_effectiveness.format_table(result))
+    # Paper: "A large majority of all measurements lead to disks that
+    # radically overestimate" — i.e. are ineffective.
+    assert result.effective_rate() < 0.5
+    # Effective measurements are more likely to come from landmarks close
+    # to the target...
+    bands = result.effective_rate_by_distance()
+    assert bands[0][1] > bands[-1][1]
+    # ...but among effective ones, area reduction does not correlate with
+    # distance.
+    correlation = result.reduction_distance_correlation()
+    assert correlation is None or abs(correlation) < 0.5

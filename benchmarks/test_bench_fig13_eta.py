@@ -1,0 +1,17 @@
+"""Figure 13 bench: the direct/indirect RTT factor eta."""
+
+from conftest import emit
+from repro.experiments import fig13_eta
+
+
+def test_bench_fig13_eta(benchmark, scenario):
+    figure = benchmark.pedantic(
+        fig13_eta.run, args=(scenario,), rounds=1, iterations=1)
+    emit(fig13_eta.format_table(figure))
+    # Paper: "the slope is 0.49 with R^2 > 0.99" — almost exactly 1/2.
+    assert 0.45 <= figure.eta <= 0.55
+    assert figure.robust_fit.r_squared > 0.99
+    # Roughly 10% of the fleet answers pings (the paper's observation).
+    fleet_size = len(scenario.all_servers())
+    assert figure.n_proxies < 0.25 * fleet_size
+    assert figure.n_proxies >= 3

@@ -1,0 +1,23 @@
+"""Figure 14 bench: the VPN market's claimed-country landscape."""
+
+from conftest import emit
+from repro.experiments import fig14_claims
+
+
+def test_bench_fig14_provider_claims(benchmark, scenario):
+    landscape = benchmark.pedantic(
+        fig14_claims.run, args=(scenario,), rounds=1, iterations=1)
+    emit(fig14_claims.format_table(landscape))
+    # Paper: providers A through E are among the 20 broadest claimants;
+    # F and G make modest claims.
+    top20 = set(landscape.top20_providers())
+    assert {"A", "B", "C", "D", "E"} <= top20
+    assert "G" not in top20
+    # A claims the most countries of the studied providers.
+    counts = landscape.studied_counts
+    assert counts["A"] == max(counts.values())
+    assert counts["G"] == min(counts.values())
+    # The market distribution is heavy-tailed: the median provider claims
+    # far fewer countries than the leader.
+    market = landscape.market_counts
+    assert market[len(market) // 2] < market[0] / 5

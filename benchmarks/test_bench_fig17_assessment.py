@@ -1,0 +1,22 @@
+"""Figure 17 bench: the overall credible/uncertain/false assessment."""
+
+from conftest import emit
+from repro.experiments import fig17_assessment
+
+
+def test_bench_fig17_assessment(benchmark, scenario, audit):
+    figure = benchmark.pedantic(
+        fig17_assessment.summarize, args=(audit, scenario),
+        rounds=1, iterations=1)
+    emit(fig17_assessment.format_table(figure))
+    # Paper headline: at least a third of the servers are not in their
+    # advertised country, and another third might not be.
+    assert figure.false_fraction >= 0.30
+    assert figure.uncertain() + figure.false() >= figure.n_proxies / 2
+    # Credible cases concentrate in the ten most-claimed countries, false
+    # cases spread over the long tail (paper: 84% vs 11%).
+    assert figure.top10_share_of_credible > 2 * figure.top10_share_of_false
+    # The probable-country list is dominated by easy-hosting countries.
+    probable_codes = [code for code, _ in figure.probable_top[:6]]
+    tier1 = {c.iso2 for c in scenario.registry.by_hosting_tier(1)}
+    assert sum(1 for code in probable_codes if code in tier1) >= 4

@@ -1,0 +1,18 @@
+"""Figure 18 bench: honesty concentrates in commonly-claimed countries."""
+
+from conftest import emit
+from repro.experiments import fig18_honesty
+
+
+def test_bench_fig18_honesty_matrix(benchmark, scenario, audit):
+    matrix = benchmark.pedantic(
+        fig18_honesty.summarize, args=(audit,), rounds=1, iterations=1)
+    emit(fig18_honesty.format_table(matrix))
+    assert len(matrix.providers) == 7
+    assert len(matrix.countries) == 20
+    # Hosting-tier gradient: claims in tier-1 countries are backed far more
+    # often than claims in tier-3 countries.
+    tier_means = matrix.tier_means(scenario)
+    assert tier_means[1] > tier_means[3]
+    # Honest provider D beats dishonest provider B on average.
+    assert matrix.provider_mean("D") > matrix.provider_mean("B")

@@ -1,0 +1,35 @@
+"""Figure 19 bench: per-provider honesty over every claimed country."""
+
+import numpy as np
+
+from conftest import emit
+from repro.experiments import fig18_honesty
+
+
+def test_bench_fig19_provider_country_maps(benchmark, scenario, audit):
+    matrix = benchmark.pedantic(
+        fig18_honesty.summarize, args=(audit,),
+        kwargs={"all_countries": True}, rounds=1, iterations=1)
+
+    lines = ["Figure 19 — per-provider honesty over all claimed countries"]
+    for provider in matrix.providers:
+        rates = [rate for (p, _), rate in matrix.honesty.items()
+                 if p == provider]
+        fully = sum(1 for r in rates if r >= 0.999)
+        none = sum(1 for r in rates if r <= 0.001)
+        lines.append(
+            f"  provider {provider}: {len(rates):3d} claimed countries — "
+            f"{fully:3d} fully backed, {none:3d} fully false, "
+            f"mean {np.mean(rates):.0%}")
+    emit("\n".join(lines))
+
+    # Paper: "claimed locations in countries where server hosting is
+    # difficult are almost always false", for every provider.
+    tier3 = {c.iso2 for c in scenario.registry.by_hosting_tier(3)}
+    tier3_rates = [rate for (_, country), rate in matrix.honesty.items()
+                   if country in tier3]
+    assert tier3_rates, "fleet should include tier-3 claims"
+    assert np.mean(tier3_rates) < 0.4
+    # "There is some variation among the providers": best and worst differ.
+    means = {p: matrix.provider_mean(p) for p in matrix.providers}
+    assert max(means.values()) - min(means.values()) > 0.1

@@ -1,0 +1,26 @@
+"""Figure 21 bench: CBG++ vs ICLab vs five IP-to-location databases."""
+
+from conftest import emit
+from repro.experiments import fig21_databases
+
+
+def test_bench_fig21_database_comparison(benchmark, scenario, audit):
+    comparison = benchmark.pedantic(
+        fig21_databases.run, args=(scenario,), rounds=1, iterations=1)
+    emit(fig21_databases.format_table(comparison))
+
+    generous = comparison.mean_agreement("CBG++ (generous)")
+    strict = comparison.mean_agreement("CBG++ (strict)")
+    iclab = comparison.mean_agreement("ICLab")
+
+    # Paper: generous >= strict by construction, and both active methods
+    # are far stricter than any database.  (In the paper ICLab lands near
+    # strict CBG++; here, with coarser prediction regions, it lands near
+    # the generous count — the active-vs-passive gap is the robust shape.)
+    assert generous >= strict
+    assert iclab <= generous + 0.10
+    # All five IP-to-location databases agree with the providers far more
+    # than either active-geolocation approach does.
+    assert comparison.databases_more_agreeable()
+    for db in ("DB-IP", "Eureka", "IP2Location", "IPInfo", "MaxMind"):
+        assert comparison.mean_agreement(db) > generous

@@ -1,0 +1,23 @@
+"""Figure 22 bench: the continent co-occurrence matrix."""
+
+from conftest import emit
+from repro.experiments import fig22_confusion
+
+
+def test_bench_fig22_continent_confusion(benchmark, scenario, audit):
+    figures = benchmark.pedantic(
+        fig22_confusion.run, args=(scenario,), rounds=1, iterations=1)
+    emit(fig22_confusion.format_table(figures))
+    matrix = figures.continent_matrix
+    # Every prediction lands somewhere: the diagonal dominates.
+    for continent in matrix.labels:
+        diagonal = matrix.get(continent, continent)
+        off = [matrix.get(continent, other) for other in matrix.labels
+               if other != continent]
+        if diagonal:
+            assert diagonal >= max(off)
+    # Geographic neighbours confuse; antipodes don't: Europe co-occurs
+    # with Africa more than with South America (paper's matrix shape).
+    assert matrix.get("EU", "AF") >= matrix.get("EU", "SA")
+    # The matrix is symmetric by construction.
+    assert matrix.get("EU", "AS") == matrix.get("AS", "EU")

@@ -1,0 +1,31 @@
+"""Figure 23 bench: the country co-occurrence matrix."""
+
+from conftest import emit
+from repro.experiments import fig22_confusion
+
+
+def test_bench_fig23_country_confusion(benchmark, scenario, audit):
+    figures = benchmark.pedantic(
+        fig22_confusion.run, args=(scenario,), rounds=1, iterations=1)
+    pairs = figures.most_confused_countries(15)
+    same_continent = figures.same_continent_confusion_rate(scenario)
+    emit("Figure 23 — country confusion: "
+         f"{len(pairs)} top pairs, same-continent rate {same_continent:.0%}\n"
+         + "\n".join(f"  {a} <-> {b}: {n}" for a, b, n in pairs))
+    # Confusion concentrates within continents ("just about every country
+    # within a continent can share a prediction region") — though the
+    # paper's own Appendix A continent split (Middle East -> Africa,
+    # maritime Southeast Asia -> Oceania) guarantees plenty of nominally
+    # cross-continent pairs among physical neighbours.
+    assert same_continent > 0.4
+    top_same = sum(
+        1 for a, b, _ in pairs
+        if scenario.registry.continent_of(a) == scenario.registry.continent_of(b))
+    assert top_same >= 0.8 * len(pairs)
+    # The most confusable pairs are real neighbours with real counts.
+    assert pairs[0][2] >= 3
+    # Dense Europe produces the most confusion pairs (the paper's matrix
+    # has its biggest block there).
+    eu = {c.iso2 for c in scenario.registry.by_continent("EU")}
+    eu_pairs = sum(1 for a, b, _ in pairs if a in eu and b in eu)
+    assert eu_pairs >= len(pairs) // 3

@@ -1,0 +1,82 @@
+"""Performance benchmarks of the pipeline's hot paths.
+
+Unlike the figure benches (one-shot table regeneration), these use
+pytest-benchmark's repeated timing to track the costs that dominate a
+fleet audit: calibration fitting, distance-field/disk-mask evaluation,
+the subset search, and a full CBG++ prediction.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import CBGPlusPlus, RttObservation, largest_consistent_subset
+from repro.core.calibration import CbgCalibration
+from repro.geo import Grid
+
+
+@pytest.fixture(scope="module")
+def observations(scenario):
+    rng = np.random.default_rng(0)
+    target = scenario.factory.create(48.8, 2.3, name="perf-target")
+    observations = []
+    for landmark in scenario.atlas.anchors[:25]:
+        base = scenario.network.base_one_way_ms(target, landmark.host)
+        observations.append(RttObservation(
+            landmark.name, landmark.lat, landmark.lon,
+            base + float(rng.exponential(2.0))))
+    return observations
+
+
+def test_perf_cbg_calibration_fit(benchmark, scenario):
+    points = scenario.atlas.calibration_data(scenario.atlas.anchors[0])
+    result = benchmark(lambda: CbgCalibration(points, apply_slowline=True))
+    assert result.speed_km_per_ms > 0
+
+
+def test_perf_distance_field_uncached(benchmark):
+    grid = Grid(resolution_deg=1.0)
+    counter = [0]
+
+    def compute():
+        # A fresh coordinate each round defeats the LRU cache, so the
+        # benchmark measures the haversine sweep itself.
+        counter[0] += 1
+        lat = (counter[0] * 0.137) % 80.0
+        return grid.distances_from(lat, 10.0)
+
+    distances = benchmark(compute)
+    assert distances.shape == (grid.n_cells,)
+
+
+def test_perf_disk_mask_cached(benchmark, scenario):
+    grid = scenario.grid
+    grid.distances_from(50.0, 8.0)  # warm the cache
+    mask = benchmark(lambda: grid.disk_mask(50.0, 8.0, 1500.0))
+    assert mask.any()
+
+
+def test_perf_subset_search_with_conflicts(benchmark, scenario):
+    grid = scenario.grid
+    rng = np.random.default_rng(1)
+    masks = [grid.disk_mask(48.0 + float(rng.normal(0, 3)),
+                            10.0 + float(rng.normal(0, 5)),
+                            float(rng.uniform(800, 4000)))
+             for _ in range(20)]
+    masks += [grid.disk_mask(-30.0, 140.0, 500.0)]  # a conflicting outlier
+    chosen, mask = benchmark(lambda: largest_consistent_subset(masks))
+    assert mask.any()
+    assert len(chosen) >= 20
+
+
+def test_perf_cbgpp_full_prediction(benchmark, scenario, observations):
+    algorithm = CBGPlusPlus(scenario.calibrations, scenario.worldmap)
+    algorithm.predict(observations)  # warm calibration + distance caches
+    prediction = benchmark(lambda: algorithm.predict(observations))
+    assert not prediction.failed
+
+
+def test_perf_region_country_coverage(benchmark, scenario, observations):
+    algorithm = CBGPlusPlus(scenario.calibrations, scenario.worldmap)
+    region = algorithm.predict(observations).region
+    covered = benchmark(lambda: scenario.worldmap.countries_covered(region))
+    assert covered

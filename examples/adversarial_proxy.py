@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""What happens when the proxy fights back (the paper's §8 discussion).
+
+A VPN operator that knows it is being geolocated can manipulate RTTs: it
+can hold responses back (delay can only be *added*), or — sitting in the
+middle of the TCP handshake — forge early SYN-ACKs and make any landmark
+look arbitrarily close.  This example attacks the pipeline with both
+strategies and shows the asymmetry the literature predicts: added delay
+cannot evict the truth from CBG++'s (growing) disks but drags Spotter's
+compact region toward the lie, while forgery defeats everything.
+
+Run:  python examples/adversarial_proxy.py
+"""
+
+from repro.experiments import default_scenario, ext_adversary
+
+
+def main() -> None:
+    print("Building the simulated world...")
+    scenario = default_scenario()
+
+    proxy = next(s for s in scenario.all_servers()
+                 if scenario.true_country_of(s) == "DE")
+    pretend = (35.68, 139.69)  # the operator pretends to be in Tokyo
+    print(f"\nVictim proxy: {proxy.hostname} — actually in Germany,")
+    print(f"manipulating RTTs to appear at {pretend} (Tokyo).\n")
+
+    experiment = ext_adversary.run(scenario, proxy=proxy,
+                                   pretend_location=pretend)
+    print(ext_adversary.format_table(experiment))
+
+    delay_cbgpp = experiment.outcome("add-delay", "cbg++")
+    delay_spotter = experiment.outcome("add-delay", "spotter")
+    forged_cbgpp = experiment.outcome("forge-synack", "cbg++")
+
+    print("\nReading the table:")
+    if delay_cbgpp.covers_truth:
+        print("* add-delay vs CBG++: the region ballooned"
+              f" ({delay_cbgpp.area_km2:,.0f} km^2) but still contains the"
+              " true location — delays only ever widen CBG-family disks.")
+    if not delay_spotter.covers_truth and delay_spotter.displaced:
+        print("* add-delay vs Spotter: the compact region was dragged"
+              f" {delay_spotter.miss_truth_km:,.0f} km away from the truth,"
+              " toward the pretended location — minimum-speed models trust"
+              " the inflated delays.")
+    if not forged_cbgpp.covers_truth:
+        print("* forge-synack: with forged handshakes even CBG++ relocates"
+              " to the lie. Against a man-in-the-middle, delay-based"
+              " geolocation alone cannot win — the paper suggests"
+              " authenticated timestamps (e.g. NTS) as the way out.")
+
+
+if __name__ == "__main__":
+    main()

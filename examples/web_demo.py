@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""A terminal rendition of the paper's web demonstration.
+
+The crowdsourcing website (§4.2) "presents a live demonstration of active
+geolocation, displaying the measurements as circles drawn on a map, much
+as in Figure 1."  This example replays that experience in the terminal:
+it measures a handful of landmarks one at a time and redraws the shrinking
+intersection after each, ending with the CBG++ verdict.
+
+Run:  python examples/web_demo.py
+"""
+
+import numpy as np
+
+from repro.core import CBGPlusPlus, RttObservation
+from repro.experiments import default_scenario
+from repro.geodesy import haversine_km
+from repro.netsim import WebTool
+from repro.report import region_map
+
+
+def main() -> None:
+    print("Building the simulated world...")
+    scenario = default_scenario()
+
+    # "You" are a visitor to the demo page, somewhere in Europe.
+    you = scenario.factory.create(47.38, 8.54, name="demo-visitor",
+                                  os="linux")
+    print("Welcome! Measuring round-trip times from your browser to a few")
+    print("landmarks in known locations; each one bounds where you can be.\n")
+
+    tool = WebTool(scenario.network, browser="firefox-61", seed=3)
+    rng = np.random.default_rng(3)
+    algorithm = CBGPlusPlus(scenario.calibrations, scenario.worldmap)
+
+    # A handful of European anchors, nearest first for drama.
+    anchors = sorted(
+        (lm for lm in scenario.atlas.anchors if lm.name.startswith("anchor-EU")),
+        key=lambda lm: haversine_km(you.lat, you.lon, lm.lat, lm.lon))[:6]
+
+    observations = []
+    for landmark in anchors:
+        sample = tool.measure(you, landmark, rng)
+        observations.append(RttObservation(
+            landmark.name, landmark.lat, landmark.lon,
+            sample.apparent_one_way_ms))
+        print(f"* {landmark.name}: {sample.rtt_ms:.1f} ms")
+        if len(observations) >= 3:
+            prediction = algorithm.predict(observations)
+            print(f"  -> region now {prediction.area_km2():,.0f} km^2")
+    prediction = algorithm.predict(observations)
+    covered = scenario.worldmap.countries_covered(prediction.region)
+
+    print("\nFinal prediction ('X' marks your actual position):")
+    print(region_map(scenario.worldmap, prediction.region,
+                     markers=[(you.lat, you.lon)], height=20, width=72))
+    print(f"You appear to be in: {', '.join(covered)}")
+    print("(If you are comfortable sharing your true location, the real")
+    print("site asked you to upload these measurements for validation.)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,25 @@
+"""repro — reproduction of "How to Catch when Proxies Lie" (IMC 2018).
+
+Verifies the physical locations of network proxies with active
+geolocation: measure round-trip times from a target to landmarks in known
+locations, bound the feasible distances, and intersect the bounds into a
+prediction region.  The package contains the paper's CBG++ algorithm, the
+three published algorithms it was compared against, and a complete
+synthetic measurement substrate (world map, Internet topology, RIPE-Atlas-
+style constellation, VPN provider fleets) so every experiment in the paper
+can be re-run offline.
+
+Quick start::
+
+    from repro.experiments import default_scenario, run_audit
+
+    scenario = default_scenario()
+    result = run_audit(scenario, max_servers=50)
+    print(result.verdict_counts())
+"""
+
+from . import core, geo, geodesy, netsim, stats
+
+__version__ = "1.0.0"
+
+__all__ = ["core", "geo", "geodesy", "netsim", "stats", "__version__"]

@@ -1,0 +1,66 @@
+"""Common interface for geolocation algorithms."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from ..geo.region import Region
+from ..geo.worldmap import WorldMap
+from .calibrationset import CalibrationSet
+from .observations import RttObservation, merge_min, require_observations
+
+
+@dataclass
+class Prediction:
+    """The output of one geolocation attempt."""
+
+    algorithm: str
+    region: Region                       # after plausibility clipping
+    used_landmarks: List[str] = field(default_factory=list)
+    discarded_landmarks: List[str] = field(default_factory=list)
+
+    @property
+    def failed(self) -> bool:
+        """True when the algorithm could not place the target anywhere."""
+        return self.region.is_empty
+
+    def area_km2(self) -> float:
+        return self.region.area_km2()
+
+    def miss_distance_km(self, true_lat: float, true_lon: float) -> float:
+        """Distance from the true location to the predicted region's edge.
+
+        Zero when the prediction covers the truth (the Figure 9A metric).
+        An empty prediction is an unbounded miss.
+        """
+        if self.region.is_empty:
+            return float("inf")
+        return self.region.distance_to_point_km(true_lat, true_lon)
+
+
+class GeolocationAlgorithm(abc.ABC):
+    """Base class: calibrations + world map in, regions out."""
+
+    #: Subclasses set a short identifier used in reports and figures.
+    name: str = "abstract"
+
+    def __init__(self, calibrations: CalibrationSet, worldmap: WorldMap):
+        self.calibrations = calibrations
+        self.worldmap = worldmap
+        self.grid = worldmap.grid
+
+    def _prepare(self, observations: Sequence[RttObservation]
+                 ) -> List[RttObservation]:
+        merged = merge_min(observations)
+        require_observations(merged)
+        return merged
+
+    def _clip(self, region: Region) -> Region:
+        """Apply the paper's terrain plausibility constraints."""
+        return self.worldmap.clip_to_plausible(region)
+
+    @abc.abstractmethod
+    def predict(self, observations: Sequence[RttObservation]) -> Prediction:
+        """Estimate where the target is."""

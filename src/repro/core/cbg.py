@@ -1,0 +1,66 @@
+"""Constraint-Based Geolocation (Gueye et al. 2004), as re-implemented
+by the paper.
+
+For every landmark, the one-way delay is converted to a maximum distance
+via the landmark's *bestline*; the target must lie inside the resulting
+disk.  The prediction is the intersection of all disks, clipped to
+plausible terrain.  CBG assumes no minimum travel speed, and it uses only
+the fastest observation per landmark — two properties that make it
+unexpectedly robust to the noisy, upward-biased measurements of global
+proxy geolocation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from .base import GeolocationAlgorithm, Prediction
+from .multilateration import DiskConstraint, intersect_disks
+from .observations import RttObservation
+
+
+class CBG(GeolocationAlgorithm):
+    """Plain CBG: bestline disks, hard intersection."""
+
+    name = "cbg"
+
+    #: Whether bestlines are constrained by the CBG++ slowline; plain CBG
+    #: is not.
+    apply_slowline = False
+
+    def min_disk_radius_km(self) -> float:
+        """Floor on disk radii: 1.5 analysis-grid cells.
+
+        A disk smaller than a grid cell cannot be represented on the
+        raster; without the floor, a very fast measurement from a
+        co-located landmark collapses its disk to (at most) one slightly
+        misplaced cell and evicts the true location by quantisation
+        alone.  The floor only *widens* constraints, which is the safe
+        direction for this audit.
+        """
+        return 1.5 * self.grid.resolution_deg * 111.2
+
+    def disks(self, observations: Sequence[RttObservation]) -> List[DiskConstraint]:
+        """The per-landmark disk constraints (exposed for analysis)."""
+        floor = self.min_disk_radius_km()
+        constraints = []
+        for obs in observations:
+            calibration = self.calibrations.cbg(
+                obs.landmark_name, apply_slowline=self.apply_slowline)
+            constraints.append(DiskConstraint(
+                landmark_name=obs.landmark_name,
+                lat=obs.lat,
+                lon=obs.lon,
+                radius_km=max(calibration.max_distance_km(obs.one_way_ms),
+                              floor),
+            ))
+        return constraints
+
+    def predict(self, observations: Sequence[RttObservation]) -> Prediction:
+        observations = self._prepare(observations)
+        region = intersect_disks(self.grid, self.disks(observations))
+        return Prediction(
+            algorithm=self.name,
+            region=self._clip(region),
+            used_landmarks=[obs.landmark_name for obs in observations],
+        )

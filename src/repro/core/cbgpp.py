@@ -1,0 +1,132 @@
+"""CBG++ — the paper's contribution (section 5.1).
+
+CBG with two modifications that eliminate coverage failures:
+
+1. **Slowline.** Bestlines are constrained between the 200 km/ms physical
+   baseline and an 84.5 km/ms "slowline": a one-way time of 237 ms could
+   have traversed a geostationary satellite, which can bridge any two
+   points on a hemisphere, so delays map to at least
+   20 037.508 km / 237 ms = 84.5 km/ms worth of possible distance.
+
+2. **Two-tier largest-consistent-subset multilateration.**  For each
+   landmark both the bestline disk and the (larger) baseline disk are
+   drawn.  The largest subset of *baseline* disks with a common point
+   forms the "baseline region"; bestline disks that miss that region are
+   discarded as underestimates; the largest consistent subset of the
+   remaining bestline disks forms the final "bestline region".
+
+The result, on the paper's crowdsourced test hosts, covered the true
+location in every case — at the price of somewhat larger regions.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from ..geo.region import Region
+from .base import Prediction
+from .cbg import CBG
+from .multilateration import DiskConstraint, largest_consistent_subset
+from .observations import RttObservation
+
+
+class CBGPlusPlus(CBG):
+    """CBG++: slowline-bounded bestlines + two-tier subset multilateration."""
+
+    name = "cbg++"
+    apply_slowline = True
+
+    def baseline_disks(self, observations: Sequence[RttObservation]
+                       ) -> List[DiskConstraint]:
+        """Per-landmark disks at the 200 km/ms physical baseline."""
+        floor = self.min_disk_radius_km()
+        constraints = []
+        for obs in observations:
+            calibration = self.calibrations.cbg(
+                obs.landmark_name, apply_slowline=True)
+            constraints.append(DiskConstraint(
+                landmark_name=obs.landmark_name,
+                lat=obs.lat,
+                lon=obs.lon,
+                radius_km=max(calibration.baseline_distance_km(obs.one_way_ms),
+                              floor),
+            ))
+        return constraints
+
+    def predict(self, observations: Sequence[RttObservation]) -> Prediction:
+        observations = self._prepare(observations)
+        bestline = self.disks(observations)       # slowline-constrained
+        baseline = self.baseline_disks(observations)
+        grid = self.grid
+
+        bestline_masks = [grid.disk_mask(d.lat, d.lon, d.radius_km)
+                          for d in bestline]
+        baseline_masks = [grid.disk_mask(d.lat, d.lon, d.radius_km)
+                          for d in baseline]
+
+        # Tier 1: the baseline region — largest consistent family of
+        # physically-maximal disks.
+        _, baseline_region_mask = largest_consistent_subset(baseline_masks)
+
+        # Tier 2: drop bestline disks that do not overlap the baseline
+        # region (they must be underestimates), then take the largest
+        # consistent family of the survivors.
+        surviving_indices = [i for i, mask in enumerate(bestline_masks)
+                             if (mask & baseline_region_mask).any()]
+        discarded = [bestline[i].landmark_name for i in range(len(bestline))
+                     if i not in surviving_indices]
+        if surviving_indices:
+            surviving_masks = [bestline_masks[i] for i in surviving_indices]
+            chosen_positions, final_mask = largest_consistent_subset(
+                surviving_masks, base_mask=baseline_region_mask)
+            chosen = [bestline[surviving_indices[p]].landmark_name
+                      for p in chosen_positions]
+            dropped_in_search = [
+                bestline[surviving_indices[p]].landmark_name
+                for p in range(len(surviving_indices))
+                if p not in chosen_positions]
+            discarded.extend(dropped_in_search)
+        else:
+            # Every bestline disk was an underestimate; fall back to the
+            # baseline region itself.
+            final_mask = baseline_region_mask
+            chosen = []
+
+        region = self._clip(Region(grid, final_mask))
+        if region.is_empty and baseline_region_mask.any():
+            # Clipping can empty a tiny coastal region; fall back to the
+            # clipped baseline region so the algorithm never predicts
+            # "nowhere" while a consistent baseline family exists.
+            region = self._clip(Region(grid, baseline_region_mask))
+        return Prediction(
+            algorithm=self.name,
+            region=region,
+            used_landmarks=chosen,
+            discarded_landmarks=discarded,
+        )
+
+    # -- analysis helpers ----------------------------------------------------
+
+    def effective_landmarks(self, observations: Sequence[RttObservation]
+                            ) -> List[str]:
+        """Landmarks whose disk actually constrains the final region.
+
+        A measurement is *ineffective* (Figure 11) when removing its disk
+        leaves the final prediction unchanged — typically a radically
+        overestimated disk from a distant landmark.
+        """
+        observations = self._prepare(observations)
+        full = self.predict(observations)
+        effective: List[str] = []
+        for obs in observations:
+            others = [o for o in observations
+                      if o.landmark_name != obs.landmark_name]
+            if len(others) < 3:
+                effective.append(obs.landmark_name)
+                continue
+            without = self.predict(others)
+            if not np.array_equal(without.region.mask, full.region.mask):
+                effective.append(obs.landmark_name)
+        return effective

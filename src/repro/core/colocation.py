@@ -1,0 +1,121 @@
+"""Proxy co-location detection via pairwise proxy-to-proxy RTTs (§8.1).
+
+The paper: "We are experimenting with an additional technique for
+detecting proxies in the same data center, in which we measure round-trip
+times to each proxy from each other proxy.  Pilot tests indicate that
+some groups of proxies (including proxies claimed to be in separate
+countries) show less than 5 ms round-trip times among themselves, which
+practically guarantees they are on the same local network."
+
+:func:`detect_colocation` measures every pair (through the tunnel: client
+→ proxy A → proxy B, with the client legs subtracted the same way landmark
+measurements are adapted) and clusters proxies whose mutual RTT falls
+below the LAN threshold, using union-find.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..netsim.hosts import Host
+from ..netsim.network import Network
+from ..netsim.proxies import ProxyServer
+
+#: Mutual RTT below this "practically guarantees they are on the same
+#: local network" (paper §8.1).
+LAN_RTT_THRESHOLD_MS = 5.0
+
+
+@dataclass
+class ColocationGroup:
+    """One detected same-LAN cluster of proxies."""
+
+    servers: List[ProxyServer]
+    max_internal_rtt_ms: float
+
+    @property
+    def size(self) -> int:
+        return len(self.servers)
+
+    def claimed_countries(self) -> List[str]:
+        return sorted({s.claimed_country for s in self.servers})
+
+    @property
+    def claims_conflict(self) -> bool:
+        """Same LAN but different advertised countries — someone is lying."""
+        return len(self.claimed_countries()) > 1
+
+
+class _UnionFind:
+    def __init__(self, n: int):
+        self.parent = list(range(n))
+
+    def find(self, i: int) -> int:
+        while self.parent[i] != i:
+            self.parent[i] = self.parent[self.parent[i]]
+            i = self.parent[i]
+        return i
+
+    def union(self, i: int, j: int) -> None:
+        ri, rj = self.find(i), self.find(j)
+        if ri != rj:
+            self.parent[rj] = ri
+
+
+def proxy_pair_rtt_ms(network: Network, a: ProxyServer, b: ProxyServer,
+                      rng: Optional[np.random.Generator] = None,
+                      samples: int = 3) -> float:
+    """Best observed RTT between two proxies, ms.
+
+    Measured proxy-to-proxy: the client instructs proxy A's tunnel to
+    connect to proxy B's service port, so the timed exchange runs A→B
+    directly (the client→A leg is constant and subtracted by the batch
+    driver; here we model the already-adapted measurement).
+    """
+    rng = rng if rng is not None else np.random.default_rng(
+        (a.host.host_id, b.host.host_id))
+    return float(min(network.rtt_sample_ms(a.host, b.host, rng)
+                     for _ in range(samples)))
+
+
+def detect_colocation(network: Network, servers: Sequence[ProxyServer],
+                      threshold_ms: float = LAN_RTT_THRESHOLD_MS,
+                      rng: Optional[np.random.Generator] = None
+                      ) -> List[ColocationGroup]:
+    """Cluster proxies whose mutual RTTs are LAN-scale.
+
+    Returns only groups of two or more, largest first.  O(n²)
+    measurements — the paper ran this on suspect subsets, not whole
+    fleets; callers should pre-filter (e.g. by provider).
+    """
+    servers = list(servers)
+    if threshold_ms <= 0:
+        raise ValueError(f"threshold must be positive: {threshold_ms!r}")
+    rng = rng if rng is not None else np.random.default_rng(0)
+    n = len(servers)
+    union_find = _UnionFind(n)
+    pair_rtts: Dict[Tuple[int, int], float] = {}
+    for i in range(n):
+        for j in range(i + 1, n):
+            rtt = proxy_pair_rtt_ms(network, servers[i], servers[j], rng)
+            pair_rtts[(i, j)] = rtt
+            if rtt < threshold_ms:
+                union_find.union(i, j)
+    clusters: Dict[int, List[int]] = {}
+    for i in range(n):
+        clusters.setdefault(union_find.find(i), []).append(i)
+    groups: List[ColocationGroup] = []
+    for members in clusters.values():
+        if len(members) < 2:
+            continue
+        internal = [pair_rtts[(min(i, j), max(i, j))]
+                    for k, i in enumerate(members)
+                    for j in members[k + 1:]]
+        groups.append(ColocationGroup(
+            servers=[servers[i] for i in members],
+            max_internal_rtt_ms=max(internal),
+        ))
+    return sorted(groups, key=lambda g: -g.size)

@@ -1,0 +1,52 @@
+"""The paper's Quasi-Octant/Spotter hybrid.
+
+Separates Spotter's two ideas: its cubic-polynomial delay model is kept,
+but its probabilistic combination is replaced by Quasi-Octant's hard ring
+intersection, with ring radii at μ ± 5σ.  Comparing Hybrid against both
+parents isolates which component (model vs. multilateration) drives
+Spotter's behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from .base import GeolocationAlgorithm, Prediction
+from .multilateration import RingConstraint, mode_region
+from .observations import RttObservation
+
+
+class OctantSpotterHybrid(GeolocationAlgorithm):
+    """Spotter's delay model inside Quasi-Octant's ring multilateration."""
+
+    name = "hybrid"
+
+    #: Ring half-width in standard deviations (the paper uses ±5σ).
+    n_sigma = 5.0
+
+    def rings(self, observations: Sequence[RttObservation]) -> List[RingConstraint]:
+        """The per-landmark rings at μ ± 5σ (exposed for analysis)."""
+        calibration = self.calibrations.spotter()
+        constraints = []
+        for obs in observations:
+            mu, sigma = calibration.mu_sigma(obs.one_way_ms)
+            constraints.append(RingConstraint(
+                landmark_name=obs.landmark_name,
+                lat=obs.lat,
+                lon=obs.lon,
+                inner_km=max(0.0, mu - self.n_sigma * sigma),
+                outer_km=mu + self.n_sigma * sigma,
+            ))
+        return constraints
+
+    def predict(self, observations: Sequence[RttObservation]) -> Prediction:
+        observations = self._prepare(observations)
+        masks = [self.grid.ring_mask(r.lat, r.lon, r.inner_km, r.outer_km)
+                 for r in self.rings(observations)]
+        region = mode_region(self.grid, masks,
+                             base_mask=self.worldmap.plausibility_mask)
+        return Prediction(
+            algorithm=self.name,
+            region=self._clip(region),
+            used_landmarks=[obs.landmark_name for obs in observations],
+        )

@@ -1,0 +1,82 @@
+"""ICLab's country-disproof checker (section 6.2 of the paper).
+
+ICLab does not predict a location; it only tries to *disprove* the claimed
+country.  For each landmark it computes the minimum great-circle distance
+from the landmark to the claimed country, and the speed a packet would
+have needed to cover that distance in the observed one-way time.  The
+claim is accepted only if no packet had to exceed a configurable "speed of
+internet" limit — 153 km/ms (0.5104 c) in ICLab's deployment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..geo.worldmap import WorldMap
+from ..geodesy.constants import ICLAB_SPEED_LIMIT_KM_PER_MS
+from .observations import RttObservation
+
+
+@dataclass(frozen=True)
+class IclabVerdict:
+    """Outcome of the ICLab check for one proxy."""
+
+    claimed_country: str
+    accepted: bool
+    violations: Tuple[str, ...]      # landmark names that disproved the claim
+    max_required_speed: float        # km/ms, over all landmarks
+
+
+class IclabChecker:
+    """Speed-limit country disproof."""
+
+    def __init__(self, worldmap: WorldMap,
+                 speed_limit_km_per_ms: float = ICLAB_SPEED_LIMIT_KM_PER_MS):
+        if speed_limit_km_per_ms <= 0:
+            raise ValueError(f"speed limit must be positive: {speed_limit_km_per_ms!r}")
+        self.worldmap = worldmap
+        self.speed_limit = speed_limit_km_per_ms
+        self._distance_cache: Dict[Tuple[float, float, str], float] = {}
+
+    def _distance_to_country(self, lat: float, lon: float, iso2: str) -> float:
+        """Minimum distance from a point to the country, km (cached)."""
+        key = (round(lat, 4), round(lon, 4), iso2)
+        cached = self._distance_cache.get(key)
+        if cached is None:
+            region = self.worldmap.country_region(iso2)
+            cached = region.distance_to_point_km(lat, lon)
+            self._distance_cache[key] = cached
+        return cached
+
+    def required_speed(self, obs: RttObservation, iso2: str) -> float:
+        """Speed (km/ms) needed to reach the claimed country in time.
+
+        Zero-delay observations with non-zero distance are infinitely
+        fast; observations from inside the country need zero speed.
+        """
+        distance = self._distance_to_country(obs.lat, obs.lon, iso2)
+        if distance == 0.0:
+            return 0.0
+        if obs.one_way_ms == 0.0:
+            return float("inf")
+        return distance / obs.one_way_ms
+
+    def check(self, claimed_country: str,
+              observations: Sequence[RttObservation]) -> IclabVerdict:
+        """Accept or disprove the provider's country claim."""
+        if not observations:
+            raise ValueError("no observations supplied")
+        violations: List[str] = []
+        max_speed = 0.0
+        for obs in observations:
+            speed = self.required_speed(obs, claimed_country)
+            max_speed = max(max_speed, speed)
+            if speed > self.speed_limit:
+                violations.append(obs.landmark_name)
+        return IclabVerdict(
+            claimed_country=claimed_country,
+            accepted=not violations,
+            violations=tuple(violations),
+            max_required_speed=max_speed,
+        )

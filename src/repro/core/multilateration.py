@@ -1,0 +1,223 @@
+"""Multilateration engines: combine per-landmark constraints into a region.
+
+Three combination strategies, shared by the algorithm front-ends:
+
+* **Disk intersection** (CBG): AND together per-landmark disks.
+* **Ring intersection** (Quasi-Octant, Hybrid): AND together annuli.
+* **Largest consistent subset** (CBG++): the two-tier search that finds
+  the biggest family of disks with a common point, so that a single
+  underestimated disk cannot blank out the prediction.
+* **Bayesian rings** (Spotter): multiply per-landmark Gaussian ring
+  likelihoods and keep the smallest region holding a target probability
+  mass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..geo.grid import Grid
+from ..geo.region import Region
+
+
+@dataclass(frozen=True)
+class DiskConstraint:
+    """One landmark's disk: target is within ``radius_km`` of (lat, lon)."""
+
+    landmark_name: str
+    lat: float
+    lon: float
+    radius_km: float
+
+
+@dataclass(frozen=True)
+class RingConstraint:
+    """One landmark's annulus: inner_km <= distance <= outer_km."""
+
+    landmark_name: str
+    lat: float
+    lon: float
+    inner_km: float
+    outer_km: float
+
+
+@dataclass(frozen=True)
+class GaussianRing:
+    """One landmark's probabilistic ring: distance ~ N(mu_km, sigma_km)."""
+
+    landmark_name: str
+    lat: float
+    lon: float
+    mu_km: float
+    sigma_km: float
+
+
+def intersect_disks(grid: Grid, disks: Sequence[DiskConstraint]) -> Region:
+    """Plain CBG multilateration: the AND of every disk."""
+    if not disks:
+        raise ValueError("no disks to intersect")
+    mask = np.ones(grid.n_cells, dtype=bool)
+    for disk in disks:
+        mask &= grid.disk_mask(disk.lat, disk.lon, disk.radius_km)
+        if not mask.any():
+            break
+    return Region(grid, mask)
+
+
+def intersect_rings(grid: Grid, rings: Sequence[RingConstraint]) -> Region:
+    """Quasi-Octant multilateration: the AND of every annulus."""
+    if not rings:
+        raise ValueError("no rings to intersect")
+    mask = np.ones(grid.n_cells, dtype=bool)
+    for ring in rings:
+        mask &= grid.ring_mask(ring.lat, ring.lon, ring.inner_km, ring.outer_km)
+        if not mask.any():
+            break
+    return Region(grid, mask)
+
+
+def mode_region(grid: Grid, masks: Sequence[np.ndarray],
+                base_mask: Optional[np.ndarray] = None) -> Region:
+    """Cells satisfying the maximum number of constraints.
+
+    Octant's original multilateration is weight-based: each ring adds
+    positive weight inside itself, and the prediction is the highest-
+    weighted area.  With unit weights that is exactly "the cells covered
+    by the most rings" — identical to pure intersection when all rings
+    are mutually consistent, but degrading gracefully (instead of to the
+    empty set) when noise makes one ring miss.
+    """
+    if not masks:
+        raise ValueError("no masks supplied")
+    votes = np.zeros(grid.n_cells, dtype=np.int32)
+    for mask in masks:
+        votes += mask
+    if base_mask is not None:
+        votes[~base_mask] = 0
+    top = int(votes.max())
+    if top == 0:
+        return Region.empty(grid)
+    return Region(grid, votes == top)
+
+
+def largest_consistent_subset(masks: Sequence[np.ndarray],
+                              base_mask: Optional[np.ndarray] = None
+                              ) -> Tuple[List[int], np.ndarray]:
+    """The largest subset of masks whose AND (with ``base_mask``) is non-empty.
+
+    Returns the chosen indices and the resulting intersection mask.  This
+    is the paper's "depth-first search on the powerset of the disks":
+    branch-and-bound over include/exclude decisions, visiting disks in a
+    fixed order and pruning any branch that (a) has already gone empty or
+    (b) cannot beat the best subset found so far.  The common case — all
+    masks consistent — is answered immediately.
+
+    Ties are broken toward the smaller intersection area (more precise
+    prediction), matching the intuition that among equally large
+    consistent families the tightest is most informative.
+    """
+    n = len(masks)
+    if n == 0:
+        raise ValueError("no masks supplied")
+    if base_mask is None:
+        base_mask = np.ones_like(masks[0], dtype=bool)
+
+    everything = base_mask.copy()
+    for mask in masks:
+        everything &= mask
+    if everything.any():
+        return list(range(n)), everything
+
+    # Order by size descending: large (permissive) disks first keeps the
+    # running intersection non-empty longest, and puts the conflicting
+    # underestimates at the end where pruning bites.
+    order = sorted(range(n), key=lambda i: -int(masks[i].sum()))
+
+    # Greedy incumbent: sweep once, keeping every mask that doesn't empty
+    # the intersection.  This is usually optimal or near-optimal and gives
+    # the branch-and-bound a strong bound from the start.
+    greedy_indices: List[int] = []
+    greedy_mask = base_mask.copy()
+    for index in order:
+        candidate = greedy_mask & masks[index]
+        if candidate.any():
+            greedy_mask = candidate
+            greedy_indices.append(index)
+
+    best_indices = list(greedy_indices)
+    best_mask = greedy_mask
+    best_count = len(greedy_indices)
+    if best_count == n:   # greedy kept everything (shouldn't happen here)
+        return sorted(best_indices), best_mask
+
+    # Exact search, budgeted: the DFS is exponential in the worst case, so
+    # it gets a node budget; on exhaustion the best-so-far (at worst the
+    # greedy solution) is returned.  The budget is generous for the ≤ ~50
+    # disks real measurements produce.
+    budget = [200_000]
+
+    def descend(position: int, current_mask: np.ndarray,
+                chosen: List[int]) -> None:
+        nonlocal best_indices, best_mask, best_count
+        if budget[0] <= 0:
+            return
+        budget[0] -= 1
+        remaining = n - position
+        if len(chosen) + remaining <= best_count:
+            return  # cannot beat the incumbent
+        if position == n:
+            if len(chosen) > best_count:
+                best_count = len(chosen)
+                best_indices = list(chosen)
+                best_mask = current_mask
+            return
+        index = order[position]
+        candidate = current_mask & masks[index]
+        if candidate.any():
+            chosen.append(index)
+            descend(position + 1, candidate, chosen)
+            chosen.pop()
+        descend(position + 1, current_mask, chosen)
+
+    descend(0, base_mask, [])
+    return sorted(best_indices), best_mask
+
+
+def bayesian_region(grid: Grid, rings: Sequence[GaussianRing],
+                    mass: float = 0.95,
+                    prior_mask: Optional[np.ndarray] = None) -> Region:
+    """Spotter's probabilistic multilateration.
+
+    Accumulates per-landmark Gaussian ring log-likelihoods over the grid
+    (Bayes' rule with a flat — or masked — prior), then returns the
+    smallest set of cells containing ``mass`` of the posterior.
+    """
+    if not rings:
+        raise ValueError("no rings supplied")
+    if not (0.0 < mass <= 1.0):
+        raise ValueError(f"mass must be in (0, 1]: {mass!r}")
+    log_posterior = np.zeros(grid.n_cells, dtype=np.float64)
+    for ring in rings:
+        distances = grid.distances_from(ring.lat, ring.lon).astype(np.float64)
+        log_posterior -= ((distances - ring.mu_km) ** 2) / (2.0 * ring.sigma_km ** 2)
+    if prior_mask is not None:
+        log_posterior[~prior_mask] = -np.inf
+    finite = np.isfinite(log_posterior)
+    if not finite.any():
+        return Region.empty(grid)
+    log_posterior -= log_posterior[finite].max()
+    posterior = np.where(finite, np.exp(log_posterior), 0.0)
+    # Posterior is per-cell density; weight by cell area for mass.
+    cell_mass = posterior * grid.cell_areas_km2
+    total = cell_mass.sum()
+    if total <= 0:
+        return Region.empty(grid)
+    order = np.argsort(-cell_mass)
+    cumulative = np.cumsum(cell_mass[order]) / total
+    cutoff = int(np.searchsorted(cumulative, mass)) + 1
+    mask = np.zeros(grid.n_cells, dtype=bool)
+    mask[order[:cutoff]] = True
+    return Region(grid, mask)

@@ -1,0 +1,54 @@
+"""The measurement abstraction consumed by every geolocation algorithm.
+
+An :class:`RttObservation` is one landmark's contribution: the landmark's
+known coordinates plus the best (minimum) *one-way* delay attributed to
+the landmark→target path.  Producing those one-way delays — halving raw
+RTTs, or subtracting the client→proxy leg for tunnelled measurements — is
+the job of the measurement drivers, not the algorithms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+from ..geodesy.greatcircle import validate_latlon
+
+
+@dataclass(frozen=True)
+class RttObservation:
+    """One landmark's minimum one-way delay to the target."""
+
+    landmark_name: str
+    lat: float
+    lon: float
+    one_way_ms: float
+
+    def __post_init__(self) -> None:
+        validate_latlon(self.lat, self.lon)
+        if self.one_way_ms < 0:
+            raise ValueError(
+                f"{self.landmark_name}: negative one-way delay {self.one_way_ms!r}")
+
+
+def merge_min(observations: Iterable[RttObservation]) -> List[RttObservation]:
+    """Collapse repeated observations per landmark, keeping the minimum.
+
+    Geolocation algorithms want one number per landmark (the fastest
+    observed exchange); measurement drivers may probe a landmark several
+    times.
+    """
+    best: dict = {}
+    for obs in observations:
+        current = best.get(obs.landmark_name)
+        if current is None or obs.one_way_ms < current.one_way_ms:
+            best[obs.landmark_name] = obs
+    return list(best.values())
+
+
+def require_observations(observations: Sequence[RttObservation],
+                         minimum: int = 3) -> None:
+    """Raise if there are too few landmarks to multilaterate."""
+    if len(observations) < minimum:
+        raise ValueError(
+            f"need at least {minimum} landmark observations, got {len(observations)}")

@@ -1,0 +1,55 @@
+"""Quasi-Octant (Wong et al. 2007, minus the traceroute features).
+
+Octant draws a *ring* per landmark — both a maximum and a minimum
+distance, from piecewise-linear convex-hull delay models — and intersects
+the rings.  The original's route-trace "height" correction cannot be
+computed through proxies that drop time-exceeded packets, so, like the
+paper, we omit it and call the result Quasi-Octant.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from .base import GeolocationAlgorithm, Prediction
+from .multilateration import RingConstraint, mode_region
+from .observations import RttObservation
+
+
+class QuasiOctant(GeolocationAlgorithm):
+    """Ring multilateration with convex-hull delay models.
+
+    Rings combine with Octant's weight-based scheme (each ring votes for
+    the cells it covers; the prediction is the top-voted area), which
+    reduces to pure intersection when the rings are consistent.
+    """
+
+    name = "quasi-octant"
+
+    def rings(self, observations: Sequence[RttObservation]) -> List[RingConstraint]:
+        """The per-landmark ring constraints (exposed for analysis)."""
+        constraints = []
+        for obs in observations:
+            calibration = self.calibrations.octant(obs.landmark_name)
+            outer = calibration.max_distance_km(obs.one_way_ms)
+            inner = calibration.min_distance_km(obs.one_way_ms)
+            constraints.append(RingConstraint(
+                landmark_name=obs.landmark_name,
+                lat=obs.lat,
+                lon=obs.lon,
+                inner_km=min(inner, outer),
+                outer_km=outer,
+            ))
+        return constraints
+
+    def predict(self, observations: Sequence[RttObservation]) -> Prediction:
+        observations = self._prepare(observations)
+        masks = [self.grid.ring_mask(r.lat, r.lon, r.inner_km, r.outer_km)
+                 for r in self.rings(observations)]
+        region = mode_region(self.grid, masks,
+                             base_mask=self.worldmap.plausibility_mask)
+        return Prediction(
+            algorithm=self.name,
+            region=self._clip(region),
+            used_landmarks=[obs.landmark_name for obs in observations],
+        )

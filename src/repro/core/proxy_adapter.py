@@ -1,0 +1,132 @@
+"""Adapting RTT measurement to targets behind proxies (section 5.3).
+
+A measurement through a VPN tunnel observes client→proxy→landmark time.
+To isolate the proxy→landmark component the client pings *itself through
+the tunnel* — a packet that traverses the client→proxy path twice — and
+subtracts η times that self-ping from every tunnelled measurement, where
+η is the empirically fitted ratio between direct and indirect proxy RTTs
+(≈ 0.49 in the paper, Figure 13, after Castelluccia et al.).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..netsim.atlas import Landmark
+from ..netsim.hosts import Host
+from ..netsim.network import Network
+from ..netsim.proxies import ProxiedClient, ProxyServer
+from ..stats.regression import LinearFit, theil_sen_fit
+from .observations import RttObservation
+
+#: Default direct/indirect ratio when no pingable proxies are available to
+#: fit one.  Theory says exactly 1/2 (the path is traversed twice).
+DEFAULT_ETA = 0.5
+
+
+@dataclass(frozen=True)
+class EtaEstimate:
+    """The fitted direct-vs-indirect RTT relationship."""
+
+    eta: float
+    r_squared: float
+    n_proxies: int
+    fit: Optional[LinearFit] = None
+
+
+def collect_eta_data(network: Network, client: Host,
+                     proxies: Sequence[ProxyServer],
+                     rng: Optional[np.random.Generator] = None,
+                     samples_per_proxy: int = 3
+                     ) -> List[Tuple[float, float]]:
+    """(indirect, direct) RTT pairs for every proxy that answers pings."""
+    rng = rng if rng is not None else np.random.default_rng(0)
+    pairs: List[Tuple[float, float]] = []
+    for proxy in proxies:
+        if not proxy.responds_to_ping:
+            continue
+        tunnel = ProxiedClient(network, client, proxy,
+                               seed=proxy.host.host_id)
+        direct = min(tunnel.direct_ping_ms(rng) for _ in range(samples_per_proxy))
+        indirect = min(tunnel.self_ping_through_proxy_ms(rng)
+                       for _ in range(samples_per_proxy))
+        pairs.append((indirect, direct))
+    return pairs
+
+
+def estimate_eta(network: Network, client: Host,
+                 proxies: Sequence[ProxyServer],
+                 rng: Optional[np.random.Generator] = None) -> EtaEstimate:
+    """Fit η by robust regression of direct on indirect RTTs.
+
+    Falls back to the theoretical 0.5 when fewer than three proxies are
+    pingable both ways.
+    """
+    pairs = collect_eta_data(network, client, proxies, rng)
+    if len(pairs) < 3:
+        return EtaEstimate(eta=DEFAULT_ETA, r_squared=0.0, n_proxies=len(pairs))
+    indirect = [p[0] for p in pairs]
+    direct = [p[1] for p in pairs]
+    fit = theil_sen_fit(indirect, direct)
+    return EtaEstimate(eta=fit.slope, r_squared=fit.r_squared,
+                       n_proxies=len(pairs), fit=fit)
+
+
+class ProxyMeasurer:
+    """Produces landmark observations for a target behind one proxy.
+
+    Every tunnelled RTT has η × self-ping subtracted to remove the
+    client→proxy leg; the remainder, halved, is the one-way proxy→landmark
+    delay the geolocation algorithms consume.  Small negative remainders
+    (noise on short paths) are clamped to a floor rather than discarded —
+    a zero-ish delay is itself informative.
+    """
+
+    ONE_WAY_FLOOR_MS = 0.05
+
+    #: The subtracted client leg is scaled down by this factor.  Queueing
+    #: noise makes even the best self-ping an *over*-estimate of the
+    #: client→proxy floor; subtracting slightly less biases the residual
+    #: error toward overestimation — which only widens the region, whereas
+    #: under-estimation can make the region miss the proxy entirely (the
+    #: paper's stated priority is never to do that).
+    CLIENT_LEG_SAFETY = 0.97
+
+    def __init__(self, network: Network, client: Host, proxy: ProxyServer,
+                 eta: float = DEFAULT_ETA, seed: int = 0):
+        if not (0.0 < eta < 1.0):
+            raise ValueError(f"eta must be in (0, 1): {eta!r}")
+        self.tunnel = ProxiedClient(network, client, proxy, seed=seed)
+        self.proxy = proxy
+        self.eta = eta
+        self._rng = np.random.default_rng(seed + 1)
+
+    def client_leg_ms(self, rng: Optional[np.random.Generator] = None,
+                      samples: int = 5) -> float:
+        """Estimated client→proxy RTT: η × (best self-ping), scaled safe."""
+        rng = rng if rng is not None else self._rng
+        self_ping = min(self.tunnel.self_ping_through_proxy_ms(rng)
+                        for _ in range(samples))
+        return self.CLIENT_LEG_SAFETY * self.eta * self_ping
+
+    def observe(self, landmarks: Sequence[Landmark],
+                rng: Optional[np.random.Generator] = None,
+                samples_per_landmark: int = 3) -> List[RttObservation]:
+        """Measure every landmark through the tunnel and adapt the RTTs."""
+        rng = rng if rng is not None else self._rng
+        client_leg = self.client_leg_ms(rng)
+        observations: List[RttObservation] = []
+        for landmark in landmarks:
+            rtt = min(self.tunnel.rtt_through_proxy_ms(landmark, rng)
+                      for _ in range(samples_per_landmark))
+            adapted = max(rtt - client_leg, 2.0 * self.ONE_WAY_FLOOR_MS)
+            observations.append(RttObservation(
+                landmark_name=landmark.name,
+                lat=landmark.lat,
+                lon=landmark.lon,
+                one_way_ms=adapted / 2.0,
+            ))
+        return observations

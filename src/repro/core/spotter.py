@@ -1,0 +1,55 @@
+"""Spotter (Laki et al. 2011): probabilistic Gaussian-ring multilateration.
+
+A single, globally fitted cubic model gives the mean and standard
+deviation of distance as a function of delay.  Each landmark contributes a
+ring-shaped Gaussian likelihood over the Earth's surface; rings combine by
+Bayes' rule, and the prediction is the smallest region holding 95 % of the
+posterior mass.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from .base import GeolocationAlgorithm, Prediction
+from .multilateration import GaussianRing, bayesian_region
+from .observations import RttObservation
+
+
+class Spotter(GeolocationAlgorithm):
+    """Global Gaussian delay model + Bayesian combination."""
+
+    name = "spotter"
+
+    #: Posterior mass retained in the predicted region.
+    posterior_mass = 0.95
+
+    def gaussian_rings(self, observations: Sequence[RttObservation]
+                       ) -> List[GaussianRing]:
+        """The per-landmark probabilistic rings (exposed for analysis)."""
+        calibration = self.calibrations.spotter()
+        rings = []
+        for obs in observations:
+            mu, sigma = calibration.mu_sigma(obs.one_way_ms)
+            rings.append(GaussianRing(
+                landmark_name=obs.landmark_name,
+                lat=obs.lat,
+                lon=obs.lon,
+                mu_km=mu,
+                sigma_km=sigma,
+            ))
+        return rings
+
+    def predict(self, observations: Sequence[RttObservation]) -> Prediction:
+        observations = self._prepare(observations)
+        region = bayesian_region(
+            self.grid,
+            self.gaussian_rings(observations),
+            mass=self.posterior_mass,
+            prior_mask=self.worldmap.plausibility_mask,
+        )
+        return Prediction(
+            algorithm=self.name,
+            region=self._clip(region),
+            used_landmarks=[obs.landmark_name for obs in observations],
+        )

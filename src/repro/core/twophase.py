@@ -1,0 +1,134 @@
+"""The two-phase measurement procedure (section 4.1).
+
+Pinging all ~250 anchors takes minutes and floods the target; instead the
+paper first measures three anchors per continent, deduces the target's
+continent from the fastest responses, then measures 25 randomly selected
+landmarks (anchors + stable probes) on that continent.  Random selection
+spreads measurement load (Holterbach et al.'s interference concern) and
+lets probes fill in where anchors are sparse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..geo.countries import CONTINENTS
+from ..netsim.atlas import AtlasConstellation, Landmark
+from .base import GeolocationAlgorithm, Prediction
+from .observations import RttObservation
+
+#: A measurement callback: landmarks in, observations out.  Lets the same
+#: driver serve direct clients (CLI tool) and proxied targets.
+MeasureFn = Callable[[Sequence[Landmark]], List[RttObservation]]
+
+
+@dataclass
+class TwoPhaseResult:
+    """Everything a two-phase run produced."""
+
+    prediction: Prediction
+    deduced_continent: str
+    phase1_observations: List[RttObservation]
+    phase2_observations: List[RttObservation]
+    phase2_landmarks: List[str]
+
+
+class TwoPhaseSelector:
+    """Chooses phase-1 and phase-2 landmark sets from the constellation."""
+
+    def __init__(self, atlas: AtlasConstellation,
+                 anchors_per_continent: int = 3,
+                 phase2_size: int = 25, seed: int = 0):
+        if anchors_per_continent < 1:
+            raise ValueError("need at least one phase-1 anchor per continent")
+        if phase2_size < 3:
+            raise ValueError("phase 2 needs at least three landmarks")
+        self.atlas = atlas
+        self.anchors_per_continent = anchors_per_continent
+        self.phase2_size = phase2_size
+        self._rng = np.random.default_rng(seed)
+        self._continent_of: Dict[str, str] = {}
+        topology = atlas.network.topology
+        for lm in atlas.all_landmarks():
+            self._continent_of[lm.name] = topology.city(lm.host.city_id).continent
+        self._phase1 = self._pick_phase1()
+
+    def _pick_phase1(self) -> List[Landmark]:
+        chosen: List[Landmark] = []
+        for continent in CONTINENTS:
+            anchors = self.atlas.anchors_on_continent(continent)
+            if not anchors:
+                continue
+            count = min(self.anchors_per_continent, len(anchors))
+            indices = self._rng.choice(len(anchors), size=count, replace=False)
+            chosen.extend(anchors[int(i)] for i in indices)
+        if len(chosen) < 3:
+            raise ValueError("constellation too sparse for phase 1")
+        return chosen
+
+    def phase1_landmarks(self) -> List[Landmark]:
+        """The fixed phase-1 panel: a few anchors on every continent."""
+        return list(self._phase1)
+
+    def continent_of_landmark(self, name: str) -> str:
+        return self._continent_of[name]
+
+    def deduce_continent(self, observations: Sequence[RttObservation]) -> str:
+        """The continent of the landmark with the fastest response.
+
+        Nearest-landmark continent deduction is the paper's crude phase-1
+        estimate; it only needs to be right at continental granularity.
+        """
+        if not observations:
+            raise ValueError("no phase-1 observations")
+        fastest = min(observations, key=lambda obs: obs.one_way_ms)
+        return self._continent_of[fastest.landmark_name]
+
+    def phase2_landmarks(self, continent: str,
+                         rng: Optional[np.random.Generator] = None
+                         ) -> List[Landmark]:
+        """Random anchors + stable probes on the deduced continent."""
+        rng = rng if rng is not None else self._rng
+        pool = self.atlas.landmarks_on_continent(continent)
+        if not pool:
+            raise ValueError(f"no landmarks on continent {continent!r}")
+        if len(pool) <= self.phase2_size:
+            return list(pool)
+        indices = rng.choice(len(pool), size=self.phase2_size, replace=False)
+        return [pool[int(i)] for i in indices]
+
+
+class TwoPhaseDriver:
+    """Runs the full two-phase procedure against one target."""
+
+    def __init__(self, selector: TwoPhaseSelector,
+                 algorithm: GeolocationAlgorithm):
+        self.selector = selector
+        self.algorithm = algorithm
+
+    def locate(self, measure: MeasureFn,
+               rng: Optional[np.random.Generator] = None) -> TwoPhaseResult:
+        """Measure, deduce the continent, measure again, multilaterate.
+
+        Phase-1 observations from the deduced continent are reused in the
+        final multilateration — they are valid measurements and cost
+        nothing extra.
+        """
+        phase1 = measure(self.selector.phase1_landmarks())
+        continent = self.selector.deduce_continent(phase1)
+        phase2_landmarks = self.selector.phase2_landmarks(continent, rng)
+        phase2 = measure(phase2_landmarks)
+        reusable = [obs for obs in phase1
+                    if self.selector.continent_of_landmark(obs.landmark_name)
+                    == continent]
+        prediction = self.algorithm.predict(list(phase2) + reusable)
+        return TwoPhaseResult(
+            prediction=prediction,
+            deduced_continent=continent,
+            phase1_observations=list(phase1),
+            phase2_observations=list(phase2),
+            phase2_landmarks=[lm.name for lm in phase2_landmarks],
+        )

@@ -1,0 +1,53 @@
+"""Experiment drivers: one module per paper figure/table, plus the shared
+scenario builder and the full audit pipeline.  See DESIGN.md section 4 for
+the experiment index."""
+
+from . import (
+    fig02_calibration,
+    fig04_tools,
+    fig09_algorithms,
+    fig10_underestimation,
+    fig11_effectiveness,
+    fig13_eta,
+    fig14_claims,
+    fig16_disambiguation,
+    fig17_assessment,
+    fig18_honesty,
+    fig20_datacenter_error,
+    fig21_databases,
+    fig22_confusion,
+    ext_adversary,
+    ext_testbench,
+)
+from .audit import AuditResult, cached_audit, run_audit
+from .scenario import (
+    Scenario,
+    build_scenario,
+    default_scenario,
+    paper_scale_scenario,
+)
+
+__all__ = [
+    "AuditResult",
+    "Scenario",
+    "build_scenario",
+    "cached_audit",
+    "default_scenario",
+    "fig02_calibration",
+    "fig04_tools",
+    "fig09_algorithms",
+    "fig10_underestimation",
+    "fig11_effectiveness",
+    "fig13_eta",
+    "fig14_claims",
+    "fig16_disambiguation",
+    "fig17_assessment",
+    "fig18_honesty",
+    "fig20_datacenter_error",
+    "fig21_databases",
+    "fig22_confusion",
+    "ext_adversary",
+    "ext_testbench",
+    "paper_scale_scenario",
+    "run_audit",
+]

@@ -1,0 +1,150 @@
+"""Extension (§8): can a hostile proxy displace the geolocation?
+
+The paper's discussion, distilled into a measurable experiment: take a
+proxy, have it pretend to be somewhere else (the advertised country)
+using either RTT manipulation strategy, run the standard pipeline, and
+see where the prediction lands.
+
+Expected shapes (Gill et al. 2010, quoted by the paper):
+
+* **add-delay** — delays only *inflate* distances.  CBG-family disks can
+  only grow, so the true location stays inside the (larger) region; but
+  minimum-speed models (Spotter, Hybrid) can be dragged toward the
+  pretended location.
+* **forge-synack** — apparent distances shrink at will; every algorithm
+  can be fully relocated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..core.base import GeolocationAlgorithm
+from ..core.cbgpp import CBGPlusPlus
+from ..core.observations import RttObservation
+from ..core.spotter import Spotter
+from ..geodesy.greatcircle import haversine_km
+from ..netsim.adversary import AdversarialTunnel
+from ..netsim.proxies import ProxyServer
+from .scenario import Scenario
+
+
+@dataclass
+class AdversaryOutcome:
+    """One (strategy, algorithm) cell of the experiment."""
+
+    strategy: str
+    algorithm: str
+    covers_truth: bool
+    miss_truth_km: float         # distance region -> true location
+    miss_pretend_km: float       # distance region -> pretended location
+    area_km2: float
+
+    @property
+    def displaced(self) -> bool:
+        """Did the attack pull the region closer to the lie than the truth?"""
+        return self.miss_pretend_km < self.miss_truth_km
+
+
+@dataclass
+class AdversaryExperiment:
+    proxy_name: str
+    true_location: Tuple[float, float]
+    pretend_location: Tuple[float, float]
+    outcomes: List[AdversaryOutcome]
+
+    def outcome(self, strategy: str, algorithm: str) -> AdversaryOutcome:
+        for candidate in self.outcomes:
+            if (candidate.strategy, candidate.algorithm) == (strategy, algorithm):
+                return candidate
+        raise KeyError((strategy, algorithm))
+
+
+def _adapted_observations(tunnel: AdversarialTunnel, landmarks,
+                          rng: np.random.Generator) -> List[RttObservation]:
+    """Tunnel measurements with the standard η self-ping subtraction.
+
+    The self-ping is honest (the adversary cannot distinguish it), so the
+    client leg is estimated correctly even under attack.
+    """
+    self_ping = min(tunnel.self_ping_through_proxy_ms(rng) for _ in range(5))
+    client_leg = 0.5 * self_ping
+    observations = []
+    for landmark in landmarks:
+        rtt = min(tunnel.rtt_through_proxy_ms(landmark, rng) for _ in range(2))
+        adapted = max(rtt - client_leg, 0.1)
+        observations.append(RttObservation(
+            landmark.name, landmark.lat, landmark.lon, adapted / 2.0))
+    return observations
+
+
+def run(scenario: Scenario, proxy: Optional[ProxyServer] = None,
+        pretend_location: Optional[Tuple[float, float]] = None,
+        seed: int = 0) -> AdversaryExperiment:
+    """Attack one proxy with both strategies, locate with CBG++ and Spotter."""
+    rng = np.random.default_rng(seed)
+    if proxy is None:
+        # A Frankfurt-hosted server pretending to be in Japan by default.
+        proxy = next(s for s in scenario.all_servers()
+                     if scenario.true_country_of(s) == "DE")
+    if pretend_location is None:
+        pretend_location = (35.68, 139.69)  # Tokyo
+    landmarks = scenario.atlas.anchors
+    algorithms: List[GeolocationAlgorithm] = [
+        CBGPlusPlus(scenario.calibrations, scenario.worldmap),
+        Spotter(scenario.calibrations, scenario.worldmap),
+    ]
+    true_location = proxy.true_location
+
+    outcomes: List[AdversaryOutcome] = []
+    for strategy in ("add-delay", "forge-synack"):
+        tunnel = AdversarialTunnel(scenario.network, scenario.client, proxy,
+                                   pretend_location=pretend_location,
+                                   strategy=strategy,
+                                   seed=proxy.host.host_id)
+        observations = _adapted_observations(tunnel, landmarks, rng)
+        for algorithm in algorithms:
+            prediction = algorithm.predict(observations)
+            if prediction.region.is_empty:
+                outcomes.append(AdversaryOutcome(
+                    strategy=strategy, algorithm=algorithm.name,
+                    covers_truth=False, miss_truth_km=float("inf"),
+                    miss_pretend_km=float("inf"), area_km2=0.0))
+                continue
+            miss_truth = prediction.region.distance_to_point_km(*true_location)
+            miss_pretend = prediction.region.distance_to_point_km(
+                *pretend_location)
+            outcomes.append(AdversaryOutcome(
+                strategy=strategy,
+                algorithm=algorithm.name,
+                covers_truth=miss_truth == 0.0,
+                miss_truth_km=miss_truth,
+                miss_pretend_km=miss_pretend,
+                area_km2=prediction.area_km2(),
+            ))
+    return AdversaryExperiment(
+        proxy_name=proxy.hostname,
+        true_location=true_location,
+        pretend_location=pretend_location,
+        outcomes=outcomes,
+    )
+
+
+def format_table(experiment: AdversaryExperiment) -> str:
+    lines = [
+        f"Extension — adversarial proxy {experiment.proxy_name} pretending "
+        f"to be at {experiment.pretend_location}",
+        f"{'strategy':<14} {'algorithm':<10} {'covers truth':>13} "
+        f"{'miss truth':>11} {'miss lie':>10} {'area km2':>12}",
+    ]
+    for outcome in experiment.outcomes:
+        lines.append(
+            f"{outcome.strategy:<14} {outcome.algorithm:<10} "
+            f"{str(outcome.covers_truth):>13} "
+            f"{outcome.miss_truth_km:>10.0f}km "
+            f"{outcome.miss_pretend_km:>8.0f}km "
+            f"{outcome.area_km2:>12,.0f}")
+    return "\n".join(lines)

@@ -1,0 +1,96 @@
+"""Figure 2: example calibration scatterplots and fitted delay models.
+
+For one landmark, produce the (distance, min one-way delay) scatter from
+the mesh database and the three fitted models drawn in the paper's figure:
+CBG's bestline (with baseline and slowline), Quasi-Octant's convex-hull
+boundaries, and Spotter's cubic μ/σ curves.  The experiment reports the
+fitted parameters and the invariants the figure illustrates (bestline
+between slowline and baseline; all scatter points above the bestline).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.calibration import CbgCalibration, OctantCalibration
+from ..geodesy.constants import BASELINE_SPEED_KM_PER_MS, SLOWLINE_SPEED_KM_PER_MS
+from .scenario import Scenario
+
+
+@dataclass
+class CalibrationFigure:
+    """Everything Figure 2 shows for one landmark."""
+
+    landmark_name: str
+    n_points: int
+    scatter: List[Tuple[float, float]]          # (distance_km, one_way_ms)
+    bestline_speed: float                        # km/ms
+    bestline_intercept_ms: float
+    bestline_speed_slowline: float               # with CBG++ slowline applied
+    octant_fast_cutoff_ms: float
+    octant_slow_cutoff_ms: float
+    spotter_mu_at: Dict[int, float]              # μ(t) samples, km
+    spotter_sigma_at: Dict[int, float]           # σ(t) samples, km
+
+    def points_below_bestline(self) -> int:
+        """How many scatter points fall below the bestline (must be ~0)."""
+        calibration = CbgCalibration(self.scatter)
+        line = calibration.bestline
+        return sum(1 for d, t in self.scatter if t < line.delay_at(d) - 1e-9)
+
+
+def run(scenario: Scenario, landmark_index: int = 0,
+        spotter_sample_delays=(10, 40, 80, 160, 240)) -> CalibrationFigure:
+    """Calibrate one anchor and extract the figure's quantities."""
+    anchors = scenario.atlas.anchors
+    if not (0 <= landmark_index < len(anchors)):
+        raise IndexError(f"no anchor at index {landmark_index}")
+    landmark = anchors[landmark_index]
+    scatter = scenario.atlas.calibration_data(landmark)
+    plain = CbgCalibration(scatter, apply_slowline=False)
+    slow = CbgCalibration(scatter, apply_slowline=True)
+    octant = OctantCalibration(scatter)
+    spotter = scenario.calibrations.spotter()
+    mu_at: Dict[int, float] = {}
+    sigma_at: Dict[int, float] = {}
+    for delay in spotter_sample_delays:
+        mu, sigma = spotter.mu_sigma(float(delay))
+        mu_at[delay] = mu
+        sigma_at[delay] = sigma
+    return CalibrationFigure(
+        landmark_name=landmark.name,
+        n_points=len(scatter),
+        scatter=scatter,
+        bestline_speed=plain.speed_km_per_ms,
+        bestline_intercept_ms=plain.bestline.intercept,
+        bestline_speed_slowline=slow.speed_km_per_ms,
+        octant_fast_cutoff_ms=octant.fast_cutoff_ms,
+        octant_slow_cutoff_ms=octant.slow_cutoff_ms,
+        spotter_mu_at=mu_at,
+        spotter_sigma_at=sigma_at,
+    )
+
+
+def format_table(figure: CalibrationFigure) -> str:
+    """Human-readable summary, one row per fitted quantity."""
+    lines = [
+        f"Figure 2 — calibration for landmark {figure.landmark_name} "
+        f"({figure.n_points} mesh pairs)",
+        f"  baseline speed             {BASELINE_SPEED_KM_PER_MS:8.1f} km/ms",
+        f"  CBG bestline speed         {figure.bestline_speed:8.1f} km/ms "
+        f"(intercept {figure.bestline_intercept_ms:.2f} ms)",
+        f"  CBG++ bestline (slowline)  {figure.bestline_speed_slowline:8.1f} km/ms",
+        f"  slowline speed             {SLOWLINE_SPEED_KM_PER_MS:8.1f} km/ms",
+        f"  points below bestline      {figure.points_below_bestline():8d}",
+        f"  Octant hull cutoffs        {figure.octant_fast_cutoff_ms:.1f} ms (50%), "
+        f"{figure.octant_slow_cutoff_ms:.1f} ms (75%)",
+    ]
+    for delay in sorted(figure.spotter_mu_at):
+        lines.append(
+            f"  Spotter mu/sigma @ {delay:3d} ms   "
+            f"{figure.spotter_mu_at[delay]:8.0f} km / "
+            f"{figure.spotter_sigma_at[delay]:6.0f} km")
+    return "\n".join(lines)

@@ -1,0 +1,209 @@
+"""Figures 4–6: measurement-tool validation.
+
+One client host in a known location measures every anchor with the CLI
+tool and with the web tool under several browsers, on Linux and on
+Windows.  The analyses mirror section 4.3:
+
+* **Figure 4 (Linux)** — web measurements split into one- and two-round-
+  trip groups; the two-RTT regression slope should be ≈ 2× the one-RTT
+  slope; ANOVA should find *no* significant tool effect.
+* **Figure 5 (Windows)** — the same, but noisier: the slope ratio drifts
+  from 2, and ANOVA *does* find a significant browser effect.
+* **Figure 6** — the Windows "high outliers": magnitude depends on the
+  browser, not the distance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..netsim.tools import BROWSER_OUTLIER_MEAN_MS, CliTool, MeasurementSample, WebTool
+from ..stats.regression import (
+    AnovaResult,
+    LinearFit,
+    bootstrap_slope_ci,
+    f_test_nested,
+    ols_fit,
+)
+from .scenario import Scenario
+
+LINUX_BROWSERS = ("chrome-68", "firefox-52")
+WINDOWS_BROWSERS = ("chrome-68", "firefox-52", "firefox-61", "edge-17")
+
+
+@dataclass
+class ToolValidationResult:
+    """The regression summary for one OS's panel."""
+
+    os: str
+    samples: List[MeasurementSample]
+    one_rtt_fit: LinearFit
+    two_rtt_fit: LinearFit
+    slope_ratio: float
+    pooled_r_squared: float
+    tool_effect: AnovaResult           # Fig 4: tool; Fig 5: browser
+    n_outliers: int = 0
+    outlier_mean_by_browser: Dict[str, float] = field(default_factory=dict)
+    #: Bootstrap 95% CIs for the per-group slopes (uncertainty on the
+    #: paper's point estimates).
+    one_rtt_slope_ci: Optional[tuple] = None
+    two_rtt_slope_ci: Optional[tuple] = None
+
+    def ratio_consistent_with(self, expected: float = 2.0) -> bool:
+        """Is the expected slope ratio inside the bootstrap band?"""
+        if self.one_rtt_slope_ci is None or self.two_rtt_slope_ci is None:
+            return abs(self.slope_ratio - expected) < 0.5
+        low = self.two_rtt_slope_ci[0] / self.one_rtt_slope_ci[1]
+        high = self.two_rtt_slope_ci[1] / self.one_rtt_slope_ci[0]
+        return low <= expected <= high
+
+    @property
+    def outliers(self) -> List[MeasurementSample]:
+        return [s for s in self.samples if s.is_outlier]
+
+
+def _fit_by_round_trips(samples: Sequence[MeasurementSample]):
+    """Separate one- and two-RTT regressions of delay on distance."""
+    one = [s for s in samples if s.n_round_trips == 1 and not s.is_outlier]
+    two = [s for s in samples if s.n_round_trips == 2 and not s.is_outlier]
+    if len(one) < 3 or len(two) < 3:
+        raise ValueError("need both one- and two-round-trip samples")
+    fit1 = ols_fit([s.distance_km for s in one], [s.rtt_ms for s in one])
+    fit2 = ols_fit([s.distance_km for s in two], [s.rtt_ms for s in two])
+    return fit1, fit2, one, two
+
+
+def _pooled_r_squared(fit1: LinearFit, fit2: LinearFit, one, two) -> float:
+    """Adjusted-R²-style quality of the two-line model, treated jointly."""
+    y = np.array([s.rtt_ms for s in one] + [s.rtt_ms for s in two])
+    predicted = np.concatenate([
+        fit1.predict(np.array([s.distance_km for s in one])),
+        fit2.predict(np.array([s.distance_km for s in two])),
+    ])
+    ss_res = float(((y - predicted) ** 2).sum())
+    ss_tot = float(((y - y.mean()) ** 2).sum())
+    return 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+
+
+def _group_effect_anova(samples: Sequence[MeasurementSample],
+                        group_of) -> AnovaResult:
+    """Does splitting per group significantly improve the two-line model?
+
+    Reduced model: one line per round-trip count.  Full model: one line
+    per (round-trip count, group).
+    """
+    clean = [s for s in samples if not s.is_outlier]
+    x = np.array([s.distance_km for s in clean])
+    y = np.array([s.rtt_ms for s in clean])
+    rt = np.array([s.n_round_trips for s in clean])
+    groups = np.array([group_of(s) for s in clean])
+
+    def rss_for(labels) -> tuple:
+        total = 0.0
+        params = 0
+        for label in np.unique(labels):
+            mask = labels == label
+            if mask.sum() < 3:
+                continue
+            fit = ols_fit(x[mask], y[mask])
+            total += float((fit.residuals(x[mask], y[mask]) ** 2).sum())
+            params += 2
+        return total, params
+
+    reduced_labels = rt.astype(str)
+    full_labels = np.array([f"{r}|{g}" for r, g in zip(rt, groups)])
+    rss_reduced, params_reduced = rss_for(reduced_labels)
+    rss_full, params_full = rss_for(full_labels)
+    if params_full <= params_reduced:
+        # Degenerate grouping (a single group): no extra parameters.
+        return AnovaResult(f_statistic=0.0, p_value=1.0, df_extra=1,
+                           df_residual=len(clean) - params_reduced)
+    return f_test_nested(rss_reduced, params_reduced, rss_full, params_full,
+                         n=len(clean))
+
+
+def run(scenario: Scenario, os: str = "linux",
+        seed: int = 0) -> ToolValidationResult:
+    """Measure every anchor with every tool from a fixed client host."""
+    if os not in ("linux", "windows"):
+        raise ValueError(f"unsupported OS {os!r}")
+    rng = np.random.default_rng(seed)
+    factory = scenario.factory
+    client = factory.create(48.14, 11.58, name=f"toolcheck-{os}-{seed}", os=os)
+    landmarks = scenario.atlas.anchors
+
+    samples: List[MeasurementSample] = []
+    if os == "linux":
+        cli = CliTool(scenario.network, seed=seed)
+        samples.extend(cli.measure(client, lm, rng) for lm in landmarks)
+        browsers = LINUX_BROWSERS
+    else:
+        browsers = WINDOWS_BROWSERS
+    for browser in browsers:
+        web = WebTool(scenario.network, browser=browser, seed=seed + 1)
+        samples.extend(web.measure(client, lm, rng) for lm in landmarks)
+
+    fit1, fit2, one, two = _fit_by_round_trips(samples)
+    group_of = (lambda s: s.tool) if os == "linux" else (lambda s: s.browser or s.tool)
+    effect = _group_effect_anova(samples, group_of)
+    outliers = [s for s in samples if s.is_outlier]
+    outlier_means: Dict[str, float] = {}
+    for browser in browsers:
+        values = [s.rtt_ms for s in outliers if s.browser == browser]
+        if values:
+            outlier_means[browser] = float(np.mean(values))
+    ci_one = bootstrap_slope_ci([s.distance_km for s in one],
+                                [s.rtt_ms for s in one], seed=seed)
+    ci_two = bootstrap_slope_ci([s.distance_km for s in two],
+                                [s.rtt_ms for s in two], seed=seed)
+    return ToolValidationResult(
+        os=os,
+        samples=samples,
+        one_rtt_fit=fit1,
+        two_rtt_fit=fit2,
+        slope_ratio=fit2.slope / fit1.slope,
+        pooled_r_squared=_pooled_r_squared(fit1, fit2, one, two),
+        tool_effect=effect,
+        n_outliers=len(outliers),
+        outlier_mean_by_browser=outlier_means,
+        one_rtt_slope_ci=ci_one,
+        two_rtt_slope_ci=ci_two,
+    )
+
+
+def outlier_distance_correlation(result: ToolValidationResult) -> Optional[float]:
+    """Pearson correlation of outlier RTT with distance (Figure 6: ~none)."""
+    outliers = result.outliers
+    if len(outliers) < 3:
+        return None
+    x = np.array([s.distance_km for s in outliers])
+    y = np.array([s.rtt_ms for s in outliers])
+    if x.std() == 0 or y.std() == 0:
+        return 0.0
+    return float(np.corrcoef(x, y)[0, 1])
+
+
+def format_table(result: ToolValidationResult) -> str:
+    label = "Figure 4 (Linux)" if result.os == "linux" else "Figures 5-6 (Windows)"
+    lines = [
+        f"{label} — tool validation, {len(result.samples)} measurements",
+        f"  1-RTT line   t = {result.one_rtt_fit.slope:.5f} d + "
+        f"{result.one_rtt_fit.intercept:.2f}",
+        f"  2-RTT line   t = {result.two_rtt_fit.slope:.5f} d + "
+        f"{result.two_rtt_fit.intercept:.2f}",
+        f"  slope ratio  {result.slope_ratio:.2f}   (paper: 1.96 Linux / 2.29 Windows; "
+        f"ratio of 2 {'inside' if result.ratio_consistent_with(2.0) else 'outside'} "
+        f"the bootstrap band)",
+        f"  pooled R^2   {result.pooled_r_squared:.4f}",
+        f"  group effect F = {result.tool_effect.f_statistic:.2f}, "
+        f"p = {result.tool_effect.p_value:.2e} "
+        f"({'significant' if result.tool_effect.significant else 'not significant'})",
+        f"  high outliers {result.n_outliers}",
+    ]
+    for browser, mean in sorted(result.outlier_mean_by_browser.items()):
+        lines.append(f"    outlier mean [{browser}]  {mean:8.0f} ms "
+                     f"(model mean {BROWSER_OUTLIER_MEAN_MS[browser]:.0f})")
+    return "\n".join(lines)

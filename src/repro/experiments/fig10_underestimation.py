@@ -1,0 +1,100 @@
+"""Figure 10: CBG bestline and baseline estimates vs. the true distance.
+
+For every ordered pair of anchors, take the mesh one-way delay from A to
+B, ask A's calibration how far B could be (bestline and baseline bounds,
+with the slowline applied), and compare with the true A–B distance.  A
+ratio below 1 is an *underestimate* — the failure mode CBG++'s two-tier
+multilateration exists to absorb.  The paper: "A small fraction of all
+bestline estimates are still too short, and for very short distances this
+can happen for baseline estimates as well."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from .scenario import Scenario
+
+
+@dataclass
+class RatioSample:
+    """One landmark pair's estimates."""
+
+    true_km: float
+    bestline_ratio: float
+    baseline_ratio: float
+
+
+@dataclass
+class UnderestimationResult:
+    samples: List[RatioSample]
+
+    def bestline_underestimate_rate(self) -> float:
+        return sum(1 for s in self.samples if s.bestline_ratio < 1.0) / len(self.samples)
+
+    def baseline_underestimate_rate(self) -> float:
+        return sum(1 for s in self.samples if s.baseline_ratio < 1.0) / len(self.samples)
+
+    def underestimates_by_distance(self, edges=(0, 1000, 3000, 6000, 20040)
+                                   ) -> List[Tuple[str, float, float]]:
+        """(band, bestline rate, baseline rate) per true-distance band."""
+        rows = []
+        for lo, hi in zip(edges, edges[1:]):
+            band = [s for s in self.samples if lo <= s.true_km < hi]
+            if not band:
+                continue
+            rows.append((
+                f"{lo}-{hi} km",
+                sum(1 for s in band if s.bestline_ratio < 1.0) / len(band),
+                sum(1 for s in band if s.baseline_ratio < 1.0) / len(band),
+            ))
+        return rows
+
+    def ratio_percentiles(self, which: str = "bestline",
+                          qs=(0.01, 0.05, 0.5, 0.95)) -> List[Tuple[float, float]]:
+        values = np.array([getattr(s, f"{which}_ratio") for s in self.samples])
+        return [(q, float(np.quantile(values, q))) for q in qs]
+
+
+def run(scenario: Scenario, max_anchors: int = 80) -> UnderestimationResult:
+    """Evaluate estimate/true ratios over the anchor mesh.
+
+    Uses the landmarks themselves rather than the crowd hosts, as the
+    paper does: their positions and mutual delays are the most accurate
+    available.
+    """
+    anchors = scenario.atlas.anchors[:max_anchors]
+    samples: List[RatioSample] = []
+    for a in anchors:
+        calibration = scenario.calibrations.cbg(a.name, apply_slowline=True)
+        for b in anchors:
+            if a.name == b.name:
+                continue
+            true_km = a.host.distance_to(b.host)
+            if true_km < 1.0:
+                continue  # co-located pair: ratios are meaningless
+            delay = scenario.atlas.min_one_way_ms(a, b)
+            samples.append(RatioSample(
+                true_km=true_km,
+                bestline_ratio=calibration.max_distance_km(delay) / true_km,
+                baseline_ratio=calibration.baseline_distance_km(delay) / true_km,
+            ))
+    if not samples:
+        raise ValueError("no anchor pairs available")
+    return UnderestimationResult(samples=samples)
+
+
+def format_table(result: UnderestimationResult) -> str:
+    lines = [
+        f"Figure 10 — estimate/true distance ratios over "
+        f"{len(result.samples)} landmark pairs",
+        f"  bestline underestimates  {result.bestline_underestimate_rate():7.2%}",
+        f"  baseline underestimates  {result.baseline_underestimate_rate():7.2%}",
+        "  by true distance band (bestline / baseline):",
+    ]
+    for band, best_rate, base_rate in result.underestimates_by_distance():
+        lines.append(f"    {band:<14} {best_rate:7.2%} / {base_rate:7.2%}")
+    return "\n".join(lines)

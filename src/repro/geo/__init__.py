@@ -1,0 +1,25 @@
+"""World model: countries, continents, the analysis grid, regions, data centres.
+
+This package is the reproduction's substitute for the Natural Earth map and
+the Wisconsin Internet Atlas data-centre list the paper used.  See
+DESIGN.md for the substitution rationale.
+"""
+
+from .countries import CONTINENT_NAMES, CONTINENTS, Country, CountryRegistry
+from .datacenters import DataCenter, DataCenterRegistry
+from .grid import Grid
+from .region import Region
+from .worldmap import OCEAN, WorldMap
+
+__all__ = [
+    "CONTINENTS",
+    "CONTINENT_NAMES",
+    "Country",
+    "CountryRegistry",
+    "DataCenter",
+    "DataCenterRegistry",
+    "Grid",
+    "OCEAN",
+    "Region",
+    "WorldMap",
+]

@@ -1,0 +1,415 @@
+"""Built-in world map: countries as unions of latitude/longitude boxes.
+
+This module is the reproduction's substitute for the Natural Earth
+shapefiles the paper used.  Every country is a union of axis-aligned
+lat/lon boxes, coarse but positioned correctly, plus a set of "anchor
+points" (major population centres) used to resolve cells claimed by more
+than one country's boxes.  The world model is *internally consistent*:
+hosts, landmarks, proxies, and data centres in :mod:`repro.netsim` are all
+placed with these same polygons, so country-level assessments are exact
+with respect to the model.
+
+Continent codes follow the paper's Appendix A split:
+
+========  =================================================================
+``EU``    Europe, including Russia, Turkey, Iceland, Georgia
+``AF``    Africa *and the Middle East* (the paper folds them together)
+``AS``    Asia (India through Japan, Central Asia, Iran, Armenia)
+``OC``    Oceania, including Malaysia, Singapore, Indonesia, New Zealand
+``AU``    Australia (its own continent in Figure 22)
+``NA``    Northern North America (USA, Canada, Greenland)
+``CA``    Central America, Mexico, and the Caribbean
+``SA``    South America
+========  =================================================================
+
+Hosting tiers model how easy it is to lease server space (paper section 6):
+tier 1 countries have abundant cheap hosting (the places proxies actually
+live); tier 2 have commercial data centres; tier 3 are places where hosting
+is difficult, rare, or implausible (the long tail of claimed-but-fake
+locations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+Box = Tuple[float, float, float, float]  # (lat_min, lat_max, lon_min, lon_max)
+
+CONTINENTS = ("EU", "AF", "AS", "OC", "AU", "NA", "CA", "SA")
+
+CONTINENT_NAMES = {
+    "EU": "Europe",
+    "AF": "Africa",
+    "AS": "Asia",
+    "OC": "Oceania",
+    "AU": "Australia",
+    "NA": "North America",
+    "CA": "Central America",
+    "SA": "South America",
+}
+
+
+@dataclass(frozen=True)
+class Country:
+    """One country: code, name, continent, hosting tier, and its footprint."""
+
+    iso2: str
+    name: str
+    continent: str
+    hosting_tier: int
+    boxes: Tuple[Box, ...]
+    anchors: Tuple[Tuple[float, float], ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if self.continent not in CONTINENTS:
+            raise ValueError(f"{self.iso2}: unknown continent {self.continent!r}")
+        if self.hosting_tier not in (1, 2, 3):
+            raise ValueError(f"{self.iso2}: hosting tier must be 1..3")
+        if not self.boxes:
+            raise ValueError(f"{self.iso2}: needs at least one box")
+        for lat_min, lat_max, lon_min, lon_max in self.boxes:
+            if not (-90 <= lat_min < lat_max <= 90):
+                raise ValueError(f"{self.iso2}: bad latitude range ({lat_min}, {lat_max})")
+            if not (-180 <= lon_min < lon_max <= 180):
+                raise ValueError(f"{self.iso2}: bad longitude range ({lon_min}, {lon_max})")
+        if not self.anchors:
+            object.__setattr__(self, "anchors", tuple(self._box_centers()))
+
+    def _box_centers(self) -> List[Tuple[float, float]]:
+        return [((b[0] + b[1]) / 2.0, (b[2] + b[3]) / 2.0) for b in self.boxes]
+
+    @property
+    def centroid(self) -> Tuple[float, float]:
+        """Representative point: the first anchor (largest population centre)."""
+        return self.anchors[0]
+
+    def contains(self, lat: float, lon: float) -> bool:
+        """Point-in-footprint test against the raw boxes (no tiebreak)."""
+        return any(b[0] <= lat <= b[1] and b[2] <= lon <= b[3] for b in self.boxes)
+
+    def bounding_box(self) -> Box:
+        """The tightest single box enclosing every footprint box."""
+        return (
+            min(b[0] for b in self.boxes),
+            max(b[1] for b in self.boxes),
+            min(b[2] for b in self.boxes),
+            max(b[3] for b in self.boxes),
+        )
+
+
+def _c(iso2: str, name: str, continent: str, tier: int,
+       boxes: Sequence[Box], anchors: Sequence[Tuple[float, float]] = ()) -> Country:
+    return Country(iso2, name, continent, tier, tuple(boxes), tuple(anchors))
+
+
+# ---------------------------------------------------------------------------
+# The registry.  Boxes are deliberately coarse (the paper evaluates claims at
+# country granularity only); anchors are real major-city coordinates.
+# ---------------------------------------------------------------------------
+
+_COUNTRY_DATA: List[Country] = [
+    # --- Europe ------------------------------------------------------------
+    _c("DE", "Germany", "EU", 1, [(47.3, 55.1, 5.9, 15.0)],
+       [(52.52, 13.40), (50.11, 8.68), (48.14, 11.58), (53.55, 9.99)]),
+    _c("CZ", "Czech Republic", "EU", 1, [(48.5, 51.1, 12.1, 18.9)], [(50.08, 14.44), (49.20, 16.61)]),
+    _c("PL", "Poland", "EU", 1, [(49.0, 54.8, 14.1, 24.1)], [(52.23, 21.01), (50.06, 19.94)]),
+    _c("NL", "Netherlands", "EU", 1, [(50.8, 53.6, 3.3, 7.2)], [(52.37, 4.90), (51.92, 4.48)]),
+    _c("BE", "Belgium", "EU", 2, [(49.5, 51.5, 2.5, 6.4)], [(50.85, 4.35), (51.22, 4.40)]),
+    _c("FR", "France", "EU", 1, [(42.3, 51.1, -4.8, 8.2)],
+       [(48.86, 2.35), (45.76, 4.84), (43.30, 5.37), (44.84, -0.58)]),
+    _c("LU", "Luxembourg", "EU", 2, [(49.4, 50.2, 5.7, 6.5)], [(49.61, 6.13)]),
+    _c("AT", "Austria", "EU", 2, [(46.4, 49.0, 9.5, 17.2)], [(48.21, 16.37)]),
+    _c("CH", "Switzerland", "EU", 1, [(45.8, 47.8, 6.0, 10.5)], [(47.38, 8.54), (46.20, 6.14)]),
+    _c("IT", "Italy", "EU", 1, [(36.6, 47.1, 6.6, 18.5)], [(41.89, 12.49), (45.46, 9.19)]),
+    _c("LI", "Liechtenstein", "EU", 3, [(47.0, 47.3, 9.4, 9.7)], [(47.14, 9.52)]),
+    _c("DK", "Denmark", "EU", 2, [(54.5, 57.8, 8.0, 12.7)], [(55.68, 12.57)]),
+    _c("GB", "United Kingdom", "EU", 1, [(49.9, 58.7, -8.2, 1.8)],
+       [(51.51, -0.13), (53.48, -2.24), (55.95, -3.19)]),
+    _c("SI", "Slovenia", "EU", 2, [(45.4, 46.9, 13.4, 16.6)], [(46.06, 14.51)]),
+    _c("SK", "Slovakia", "EU", 2, [(47.7, 49.6, 16.8, 22.6)], [(48.15, 17.11)]),
+    _c("SE", "Sweden", "EU", 1, [(55.3, 69.1, 11.1, 24.2)], [(59.33, 18.07), (57.71, 11.97)]),
+    _c("HU", "Hungary", "EU", 2, [(45.7, 48.6, 16.1, 22.9)], [(47.50, 19.04)]),
+    _c("HR", "Croatia", "EU", 2, [(42.4, 46.5, 13.5, 19.4)], [(45.81, 15.98)]),
+    _c("BA", "Bosnia and Herzegovina", "EU", 3, [(42.6, 45.3, 15.7, 19.6)], [(43.86, 18.41)]),
+    _c("NO", "Norway", "EU", 2, [(58.0, 71.2, 4.6, 31.1)], [(59.91, 10.75)]),
+    _c("RU", "Russia", "EU", 1, [(41.2, 77.0, 27.3, 180.0), (54.3, 55.3, 19.9, 22.9)],
+       [(55.76, 37.62), (59.93, 30.36), (55.03, 82.92), (43.12, 131.89)]),
+    _c("RS", "Serbia", "EU", 2, [(42.2, 46.2, 18.8, 23.0)], [(44.79, 20.45)]),
+    _c("IE", "Ireland", "EU", 1, [(51.4, 55.4, -10.5, -6.0)], [(53.35, -6.26)]),
+    _c("RO", "Romania", "EU", 1, [(43.6, 48.3, 20.2, 29.7)], [(44.43, 26.10)]),
+    _c("LT", "Lithuania", "EU", 2, [(53.9, 56.4, 21.0, 26.8)], [(54.69, 25.28)]),
+    _c("BY", "Belarus", "EU", 3, [(51.3, 56.2, 23.2, 32.8)], [(53.90, 27.57)]),
+    _c("ES", "Spain", "EU", 1, [(36.0, 43.8, -9.3, 3.3)], [(40.42, -3.70), (41.39, 2.17)]),
+    _c("UA", "Ukraine", "EU", 2, [(44.4, 52.4, 22.1, 40.2)], [(50.45, 30.52)]),
+    _c("ME", "Montenegro", "EU", 3, [(41.9, 43.6, 18.4, 20.4)], [(42.44, 19.26)]),
+    _c("BG", "Bulgaria", "EU", 2, [(41.2, 44.2, 22.4, 28.6)], [(42.70, 23.32)]),
+    _c("AL", "Albania", "EU", 3, [(39.6, 42.7, 19.3, 21.1)], [(41.33, 19.82)]),
+    _c("LV", "Latvia", "EU", 1, [(55.7, 58.1, 20.9, 28.2)], [(56.95, 24.11)]),
+    _c("MK", "North Macedonia", "EU", 3, [(40.9, 42.4, 20.5, 23.0)], [(41.99, 21.43)]),
+    _c("GR", "Greece", "EU", 2, [(34.8, 41.8, 19.4, 28.3)], [(37.98, 23.73)]),
+    _c("PT", "Portugal", "EU", 2, [(36.9, 42.2, -9.5, -6.2)], [(38.72, -9.14)]),
+    _c("EE", "Estonia", "EU", 2, [(57.5, 59.7, 21.8, 28.2)], [(59.44, 24.75)]),
+    _c("TR", "Turkey", "EU", 2, [(35.8, 42.1, 26.0, 44.8)], [(41.01, 28.98), (39.93, 32.87)]),
+    _c("MD", "Moldova", "EU", 3, [(45.5, 48.5, 26.6, 30.2)], [(47.01, 28.86)]),
+    _c("MT", "Malta", "EU", 3, [(35.8, 36.1, 14.2, 14.6)], [(35.90, 14.51)]),
+    _c("FI", "Finland", "EU", 2, [(59.8, 70.1, 20.6, 31.6)], [(60.17, 24.94)]),
+    _c("IS", "Iceland", "EU", 2, [(63.3, 66.6, -24.5, -13.5)], [(64.15, -21.94)]),
+    _c("GE", "Georgia", "EU", 3, [(41.1, 43.6, 40.0, 46.7)], [(41.72, 44.78)]),
+    _c("VA", "Vatican City", "EU", 3, [(41.88, 41.92, 12.42, 12.47)], [(41.90, 12.45)]),
+    _c("AD", "Andorra", "EU", 3, [(42.4, 42.7, 1.4, 1.8)], [(42.51, 1.52)]),
+    _c("MC", "Monaco", "EU", 3, [(43.7, 43.78, 7.38, 7.46)], [(43.73, 7.42)]),
+    _c("SM", "San Marino", "EU", 3, [(43.88, 44.0, 12.4, 12.52)], [(43.94, 12.46)]),
+    _c("XK", "Kosovo", "EU", 3, [(41.9, 43.2, 20.0, 21.8)], [(42.66, 21.17)]),
+    _c("GI", "Gibraltar", "EU", 3, [(36.1, 36.16, -5.37, -5.33)], [(36.14, -5.35)]),
+    _c("JE", "Jersey", "EU", 3, [(49.16, 49.27, -2.26, -2.0)], [(49.19, -2.11)]),
+    _c("GG", "Guernsey", "EU", 3, [(49.4, 49.52, -2.68, -2.45)], [(49.45, -2.54)]),
+    _c("IM", "Isle of Man", "EU", 3, [(54.03, 54.42, -4.85, -4.3)], [(54.15, -4.48)]),
+    _c("FO", "Faroe Islands", "EU", 3, [(61.4, 62.4, -7.7, -6.2)], [(62.01, -6.77)]),
+    _c("AX", "Aland Islands", "EU", 3, [(59.9, 60.5, 19.3, 21.1)], [(60.10, 19.94)]),
+    _c("CY", "Cyprus", "AF", 2, [(34.6, 35.7, 32.3, 34.6)], [(35.17, 33.36)]),
+    # --- Africa and the Middle East -----------------------------------------
+    _c("DZ", "Algeria", "AF", 2, [(19.0, 37.1, -8.7, 12.0)], [(36.75, 3.06)]),
+    _c("TN", "Tunisia", "AF", 3, [(30.2, 37.5, 7.5, 11.6)], [(36.81, 10.18)]),
+    _c("LY", "Libya", "AF", 3, [(19.5, 33.2, 9.3, 25.2)], [(32.89, 13.19)]),
+    _c("MA", "Morocco", "AF", 2, [(27.7, 35.9, -13.2, -1.0)], [(33.57, -7.59)]),
+    _c("EG", "Egypt", "AF", 2, [(22.0, 31.7, 24.7, 36.9)], [(30.04, 31.24)]),
+    _c("IL", "Israel", "AF", 1, [(29.5, 33.3, 34.3, 35.9)], [(32.09, 34.78)]),
+    _c("LB", "Lebanon", "AF", 3, [(33.0, 34.7, 35.1, 36.6)], [(33.89, 35.50)]),
+    _c("SY", "Syria", "AF", 3, [(32.3, 37.3, 35.7, 42.4)], [(33.51, 36.29)]),
+    _c("JO", "Jordan", "AF", 3, [(29.2, 33.4, 34.9, 39.3)], [(31.95, 35.93)]),
+    _c("IQ", "Iraq", "AF", 3, [(29.1, 37.4, 38.8, 48.6)], [(33.31, 44.36)]),
+    _c("SA", "Saudi Arabia", "AF", 2, [(16.4, 32.2, 34.5, 55.7)], [(24.71, 46.68)]),
+    _c("KW", "Kuwait", "AF", 3, [(28.5, 30.1, 46.6, 48.4)], [(29.38, 47.98)]),
+    _c("BH", "Bahrain", "AF", 3, [(25.8, 26.3, 50.4, 50.7)], [(26.23, 50.59)]),
+    _c("QA", "Qatar", "AF", 3, [(24.5, 26.2, 50.8, 51.6)], [(25.29, 51.53)]),
+    _c("AE", "United Arab Emirates", "AF", 2, [(22.6, 26.1, 51.5, 56.4)], [(25.20, 55.27)]),
+    _c("OM", "Oman", "AF", 3, [(16.6, 26.4, 52.0, 59.8)], [(23.59, 58.41)]),
+    _c("YE", "Yemen", "AF", 3, [(12.1, 19.0, 42.5, 54.5)], [(15.37, 44.19)]),
+    _c("NG", "Nigeria", "AF", 2, [(4.3, 13.9, 2.7, 14.7)], [(6.52, 3.38), (9.06, 7.49)]),
+    _c("SN", "Senegal", "AF", 3, [(12.3, 16.7, -17.5, -11.4)], [(14.72, -17.47)]),
+    _c("GH", "Ghana", "AF", 2, [(4.7, 11.2, -3.3, 1.2)], [(5.60, -0.19)]),
+    _c("CM", "Cameroon", "AF", 3, [(1.7, 13.1, 8.5, 16.2)], [(4.05, 9.70)]),
+    _c("CI", "Ivory Coast", "AF", 3, [(4.4, 10.7, -8.6, -2.5)], [(5.36, -4.01)]),
+    _c("KE", "Kenya", "AF", 2, [(-4.7, 5.0, 33.9, 41.9)], [(-1.29, 36.82)]),
+    _c("ET", "Ethiopia", "AF", 3, [(3.4, 14.9, 33.0, 48.0)], [(9.01, 38.75)]),
+    _c("TZ", "Tanzania", "AF", 3, [(-11.7, -1.0, 29.3, 40.4)], [(-6.79, 39.21)]),
+    _c("UG", "Uganda", "AF", 3, [(-1.5, 4.2, 29.6, 35.0)], [(0.35, 32.58)]),
+    _c("ZA", "South Africa", "AF", 1, [(-34.8, -22.1, 16.5, 32.9)],
+       [(-26.20, 28.05), (-33.92, 18.42)]),
+    _c("ZW", "Zimbabwe", "AF", 3, [(-22.4, -15.6, 25.2, 33.1)], [(-17.83, 31.05)]),
+    _c("MZ", "Mozambique", "AF", 3, [(-26.9, -10.5, 30.2, 40.8)], [(-25.97, 32.58)]),
+    _c("MG", "Madagascar", "AF", 3, [(-25.6, -12.0, 43.2, 50.5)], [(-18.88, 47.51)]),
+    _c("MU", "Mauritius", "AF", 3, [(-20.5, -19.9, 57.3, 57.8)], [(-20.16, 57.50)]),
+    _c("SC", "Seychelles", "AF", 3, [(-4.8, -4.5, 55.4, 55.6)], [(-4.62, 55.45)]),
+    _c("SD", "Sudan", "AF", 3, [(8.7, 22.0, 21.8, 38.6)], [(15.50, 32.56)]),
+    _c("ML", "Mali", "AF", 3, [(10.2, 25.0, -12.2, 4.3)], [(12.64, -8.00)]),
+    _c("NE", "Niger", "AF", 3, [(11.7, 23.5, 0.2, 16.0)], [(13.51, 2.13)]),
+    _c("TD", "Chad", "AF", 3, [(7.4, 23.4, 13.5, 24.0)], [(12.13, 15.06)]),
+    _c("MR", "Mauritania", "AF", 3, [(14.7, 27.3, -17.1, -4.8)], [(18.09, -15.98)]),
+    _c("BF", "Burkina Faso", "AF", 3, [(9.4, 15.1, -5.5, 2.4)], [(12.37, -1.52)]),
+    _c("AO", "Angola", "AF", 3, [(-18.0, -4.4, 11.7, 24.1)], [(-8.84, 13.23)]),
+    _c("CD", "DR Congo", "AF", 3, [(-13.5, 5.4, 12.2, 31.3)], [(-4.32, 15.31)]),
+    _c("ZM", "Zambia", "AF", 3, [(-18.1, -8.2, 22.0, 33.7)], [(-15.39, 28.32)]),
+    _c("BW", "Botswana", "AF", 3, [(-26.9, -17.8, 20.0, 29.4)], [(-24.63, 25.92)]),
+    _c("NA", "Namibia", "AF", 3, [(-29.0, -16.9, 11.7, 25.3)], [(-22.56, 17.08)]),
+    _c("DJ", "Djibouti", "AF", 3, [(10.9, 12.7, 41.8, 43.4)], [(11.59, 43.15)]),
+    _c("SO", "Somalia", "AF", 3, [(-1.7, 12.0, 41.0, 51.4)], [(2.05, 45.32)]),
+    _c("CV", "Cape Verde", "AF", 3, [(14.8, 17.2, -25.4, -22.7)], [(14.93, -23.51)]),
+    _c("GM", "Gambia", "AF", 3, [(13.0, 13.9, -16.9, -13.8)], [(13.45, -16.58)]),
+    _c("SL", "Sierra Leone", "AF", 3, [(6.9, 10.0, -13.4, -10.3)], [(8.47, -13.23)]),
+    _c("LR", "Liberia", "AF", 3, [(4.3, 8.6, -11.6, -7.4)], [(6.30, -10.80)]),
+    _c("TG", "Togo", "AF", 3, [(6.1, 11.1, -0.2, 1.8)], [(6.14, 1.21)]),
+    _c("BJ", "Benin", "AF", 3, [(6.2, 12.4, 0.8, 3.9)], [(6.37, 2.39)]),
+    _c("GA", "Gabon", "AF", 3, [(-4.0, 2.3, 8.7, 14.5)], [(0.39, 9.45)]),
+    _c("CG", "Congo", "AF", 3, [(-5.1, 3.7, 11.2, 18.6)], [(-4.27, 15.28)]),
+    _c("RW", "Rwanda", "AF", 3, [(-2.9, -1.0, 28.9, 30.9)], [(-1.94, 30.06)]),
+    _c("BI", "Burundi", "AF", 3, [(-4.5, -2.3, 29.0, 30.9)], [(-3.38, 29.36)]),
+    _c("MW", "Malawi", "AF", 3, [(-17.2, -9.4, 32.7, 35.9)], [(-13.97, 33.79)]),
+    _c("LS", "Lesotho", "AF", 3, [(-30.7, -28.6, 27.0, 29.5)], [(-29.31, 27.48)]),
+    _c("SZ", "Eswatini", "AF", 3, [(-27.3, -25.7, 30.8, 32.2)], [(-26.31, 31.14)]),
+    _c("GN", "Guinea", "AF", 3, [(7.2, 12.7, -15.1, -7.6)], [(9.64, -13.58)]),
+    # --- Asia ----------------------------------------------------------------
+    _c("CN", "China", "AS", 1, [(18.2, 53.6, 73.5, 134.8)],
+       [(39.90, 116.41), (31.23, 121.47), (23.13, 113.26), (30.57, 104.07)]),
+    _c("IN", "India", "AS", 1, [(8.1, 35.5, 68.1, 97.4)],
+       [(19.08, 72.88), (28.61, 77.21), (12.97, 77.59), (22.57, 88.36)]),
+    _c("JP", "Japan", "AS", 1, [(31.0, 45.5, 129.4, 145.8)], [(35.68, 139.69), (34.69, 135.50)]),
+    _c("KR", "South Korea", "AS", 1, [(34.4, 38.6, 126.1, 129.6)], [(37.57, 126.98)]),
+    _c("KP", "North Korea", "AS", 3, [(37.7, 43.0, 124.2, 130.7)], [(39.03, 125.75)]),
+    _c("TW", "Taiwan", "AS", 2, [(21.9, 25.3, 120.0, 122.0)], [(25.03, 121.57)]),
+    _c("HK", "Hong Kong", "AS", 1, [(22.15, 22.56, 113.84, 114.41)], [(22.32, 114.17)]),
+    _c("MO", "Macao", "AS", 3, [(22.06, 22.22, 113.52, 113.60)], [(22.20, 113.55)]),
+    _c("TH", "Thailand", "AS", 2, [(5.6, 20.5, 97.3, 105.6)], [(13.76, 100.50)]),
+    _c("VN", "Vietnam", "AS", 2, [(8.6, 23.4, 102.1, 109.5)], [(21.03, 105.85), (10.82, 106.63)]),
+    _c("LA", "Laos", "AS", 3, [(13.9, 22.5, 100.1, 107.7)], [(17.98, 102.63)]),
+    _c("KH", "Cambodia", "AS", 3, [(10.4, 14.7, 102.3, 107.6)], [(11.56, 104.92)]),
+    _c("MM", "Myanmar", "AS", 3, [(9.8, 28.5, 92.2, 101.2)], [(16.87, 96.20)]),
+    _c("BD", "Bangladesh", "AS", 3, [(20.7, 26.6, 88.0, 92.7)], [(23.81, 90.41)]),
+    _c("LK", "Sri Lanka", "AS", 3, [(5.9, 9.8, 79.7, 81.9)], [(6.93, 79.85)]),
+    _c("NP", "Nepal", "AS", 3, [(26.3, 30.4, 80.1, 88.2)], [(27.72, 85.32)]),
+    _c("PK", "Pakistan", "AS", 2, [(23.7, 37.1, 60.9, 77.8)], [(24.86, 67.01), (31.55, 74.34)]),
+    _c("AF", "Afghanistan", "AS", 3, [(29.4, 38.5, 60.5, 74.9)], [(34.56, 69.21)]),
+    _c("IR", "Iran", "AS", 3, [(25.1, 39.8, 44.0, 63.3)], [(35.69, 51.39)]),
+    _c("KZ", "Kazakhstan", "AS", 2, [(40.6, 55.4, 46.5, 87.3)], [(43.22, 76.85)]),
+    _c("UZ", "Uzbekistan", "AS", 3, [(37.2, 45.6, 56.0, 73.1)], [(41.30, 69.24)]),
+    _c("TM", "Turkmenistan", "AS", 3, [(35.1, 42.8, 52.4, 66.7)], [(37.96, 58.33)]),
+    _c("KG", "Kyrgyzstan", "AS", 3, [(39.2, 43.3, 69.3, 80.3)], [(42.87, 74.59)]),
+    _c("TJ", "Tajikistan", "AS", 3, [(36.7, 41.0, 67.3, 75.2)], [(38.56, 68.77)]),
+    _c("MN", "Mongolia", "AS", 3, [(41.6, 52.1, 87.7, 119.9)], [(47.89, 106.91)]),
+    _c("AM", "Armenia", "AS", 3, [(38.8, 41.3, 43.4, 46.6)], [(40.18, 44.51)]),
+    _c("AZ", "Azerbaijan", "AS", 3, [(38.4, 41.9, 44.8, 50.4)], [(40.41, 49.87)]),
+    _c("BT", "Bhutan", "AS", 3, [(26.7, 28.3, 88.7, 92.1)], [(27.47, 89.64)]),
+    # --- Oceania (including maritime Southeast Asia, per the paper) ---------
+    _c("MY", "Malaysia", "OC", 1, [(0.9, 7.4, 99.6, 104.5), (0.9, 7.0, 109.6, 119.3)],
+       [(3.14, 101.69)]),
+    _c("SG", "Singapore", "OC", 1, [(1.16, 1.47, 103.6, 104.0)], [(1.35, 103.82)]),
+    _c("ID", "Indonesia", "OC", 2, [(-8.8, 5.9, 95.0, 119.0), (-10.4, -8.0, 112.0, 127.0),
+                                    (-4.5, 2.0, 119.5, 141.0)],
+       [(-6.21, 106.85)]),
+    _c("PH", "Philippines", "OC", 2, [(5.0, 19.4, 117.2, 126.6)], [(14.60, 120.98)]),
+    _c("BN", "Brunei", "OC", 3, [(4.0, 5.1, 114.1, 115.4)], [(4.90, 114.94)]),
+    _c("PG", "Papua New Guinea", "OC", 3, [(-10.7, -1.3, 141.0, 155.0)], [(-9.44, 147.18)]),
+    _c("NZ", "New Zealand", "OC", 2, [(-47.3, -34.4, 166.4, 178.6)],
+       [(-36.85, 174.76), (-41.29, 174.78)]),
+    _c("FJ", "Fiji", "OC", 3, [(-19.2, -16.1, 177.0, 180.0)], [(-18.14, 178.44)]),
+    _c("NC", "New Caledonia", "OC", 3, [(-22.7, -19.5, 163.6, 167.1)], [(-22.28, 166.46)]),
+    _c("GU", "Guam", "OC", 3, [(13.2, 13.7, 144.6, 145.0)], [(13.48, 144.75)]),
+    _c("TL", "Timor-Leste", "OC", 3, [(-9.5, -8.1, 124.0, 127.3)], [(-8.56, 125.57)]),
+    _c("MV", "Maldives", "OC", 3, [(-0.7, 7.1, 72.7, 73.7)], [(4.18, 73.51)]),
+    _c("SB", "Solomon Islands", "OC", 3, [(-10.8, -6.6, 155.5, 162.8)], [(-9.43, 159.96)]),
+    _c("PN", "Pitcairn Islands", "OC", 3, [(-25.1, -24.3, -130.8, -124.7)], [(-25.07, -130.10)]),
+    _c("KI", "Kiribati", "OC", 3, [(1.0, 2.1, -157.7, -157.1)], [(1.33, -157.36)]),
+    _c("MH", "Marshall Islands", "OC", 3, [(6.9, 7.4, 171.0, 171.6)], [(7.09, 171.38)]),
+    _c("FM", "Micronesia", "OC", 3, [(6.7, 7.1, 158.0, 158.4)], [(6.92, 158.16)]),
+    _c("NR", "Nauru", "OC", 3, [(-0.6, -0.48, 166.88, 167.0)], [(-0.53, 166.92)]),
+    _c("PW", "Palau", "OC", 3, [(7.2, 7.8, 134.1, 134.8)], [(7.34, 134.48)]),
+    _c("MP", "Northern Mariana Islands", "OC", 3, [(14.9, 15.3, 145.6, 145.9)], [(15.19, 145.75)]),
+    _c("WS", "Samoa", "OC", 3, [(-14.1, -13.4, -172.8, -171.4)], [(-13.83, -171.77)]),
+    _c("TO", "Tonga", "OC", 3, [(-21.3, -21.0, -175.4, -175.0)], [(-21.14, -175.20)]),
+    _c("VU", "Vanuatu", "OC", 3, [(-17.9, -17.5, 168.1, 168.5)], [(-17.73, 168.32)]),
+    _c("NF", "Norfolk Island", "OC", 3, [(-29.1, -29.0, 167.9, 168.0)], [(-29.06, 167.96)]),
+    # --- Australia -----------------------------------------------------------
+    _c("AU", "Australia", "AU", 1, [(-43.7, -10.6, 113.2, 153.6)],
+       [(-33.87, 151.21), (-37.81, 144.96), (-27.47, 153.03), (-31.95, 115.86)]),
+    # --- North America -------------------------------------------------------
+    _c("US", "United States", "NA", 1,
+       [(31.3, 49.0, -124.8, -95.0), (24.5, 42.0, -95.0, -75.0),
+        (25.8, 31.3, -106.6, -93.5), (33.0, 42.5, -75.0, -66.9),
+        (40.5, 47.5, -80.0, -66.9), (42.0, 49.0, -95.0, -82.0),
+        (54.0, 71.4, -168.0, -141.0), (18.9, 22.2, -160.3, -154.8)],
+       [(40.71, -74.01), (34.05, -118.24), (41.88, -87.63), (29.76, -95.37),
+        (33.75, -84.39), (47.61, -122.33), (39.74, -104.99), (25.76, -80.19),
+        (42.36, -71.06), (37.77, -122.42), (38.91, -77.04), (32.78, -96.80)]),
+    _c("CA", "Canada", "NA", 1,
+       [(49.0, 70.0, -128.0, -55.0), (42.0, 49.0, -83.5, -74.0), (44.5, 49.0, -74.0, -60.0)],
+       [(43.70, -79.42), (45.50, -73.57), (49.28, -123.12), (51.05, -114.07),
+        (45.42, -75.70), (44.65, -63.58), (46.81, -71.21)]),
+    _c("GL", "Greenland", "NA", 3, [(59.8, 83.6, -73.0, -12.0)], [(64.18, -51.72)]),
+    # --- Central America, Mexico, Caribbean ----------------------------------
+    _c("MX", "Mexico", "CA", 2, [(14.5, 32.7, -117.1, -86.7)],
+       [(19.43, -99.13), (25.69, -100.32), (20.67, -103.35)]),
+    _c("GT", "Guatemala", "CA", 3, [(13.7, 17.8, -92.2, -88.2)], [(14.63, -90.51)]),
+    _c("BZ", "Belize", "CA", 3, [(15.9, 18.5, -89.2, -87.8)], [(17.50, -88.20)]),
+    _c("HN", "Honduras", "CA", 3, [(13.0, 16.5, -89.4, -83.1)], [(14.07, -87.19)]),
+    _c("SV", "El Salvador", "CA", 3, [(13.1, 14.5, -90.1, -87.7)], [(13.69, -89.19)]),
+    _c("NI", "Nicaragua", "CA", 3, [(10.7, 15.0, -87.7, -83.1)], [(12.11, -86.24)]),
+    _c("CR", "Costa Rica", "CA", 2, [(8.0, 11.2, -85.9, -82.5)], [(9.93, -84.08)]),
+    _c("PA", "Panama", "CA", 2, [(7.2, 9.6, -83.0, -77.2)], [(8.98, -79.52)]),
+    _c("CU", "Cuba", "CA", 3, [(19.8, 23.2, -85.0, -74.1)], [(23.11, -82.37)]),
+    _c("JM", "Jamaica", "CA", 3, [(17.7, 18.5, -78.4, -76.2)], [(18.02, -76.80)]),
+    _c("HT", "Haiti", "CA", 3, [(18.0, 20.1, -74.5, -71.6)], [(18.54, -72.34)]),
+    _c("DO", "Dominican Republic", "CA", 3, [(17.5, 19.9, -71.7, -68.3)], [(18.49, -69.93)]),
+    _c("PR", "Puerto Rico", "CA", 2, [(17.9, 18.5, -67.3, -65.6)], [(18.47, -66.11)]),
+    _c("BS", "Bahamas", "CA", 3, [(22.8, 27.0, -78.5, -74.0)], [(25.05, -77.36)]),
+    _c("BB", "Barbados", "CA", 3, [(13.0, 13.4, -59.7, -59.4)], [(13.10, -59.61)]),
+    _c("BM", "Bermuda", "CA", 3, [(32.2, 32.4, -64.9, -64.6)], [(32.29, -64.78)]),
+    _c("KY", "Cayman Islands", "CA", 3, [(19.2, 19.4, -81.4, -81.1)], [(19.29, -81.37)]),
+    _c("VG", "British Virgin Islands", "CA", 3, [(18.3, 18.8, -64.85, -64.25)], [(18.43, -64.62)]),
+    _c("VI", "US Virgin Islands", "CA", 3, [(17.67, 18.42, -65.1, -64.55)], [(18.34, -64.93)]),
+    _c("AG", "Antigua and Barbuda", "CA", 3, [(16.95, 17.75, -62.0, -61.65)], [(17.12, -61.85)]),
+    _c("AI", "Anguilla", "CA", 3, [(18.15, 18.30, -63.2, -62.9)], [(18.22, -63.05)]),
+    _c("AW", "Aruba", "CA", 3, [(12.4, 12.65, -70.1, -69.85)], [(12.52, -70.03)]),
+    _c("CW", "Curacao", "CA", 3, [(12.0, 12.4, -69.2, -68.7)], [(12.11, -68.93)]),
+    _c("DM", "Dominica", "CA", 3, [(15.2, 15.65, -61.5, -61.2)], [(15.30, -61.39)]),
+    _c("GD", "Grenada", "CA", 3, [(11.98, 12.25, -61.8, -61.55)], [(12.05, -61.75)]),
+    _c("KN", "Saint Kitts and Nevis", "CA", 3, [(17.1, 17.45, -62.9, -62.5)], [(17.30, -62.73)]),
+    _c("LC", "Saint Lucia", "CA", 3, [(13.7, 14.1, -61.1, -60.85)], [(14.01, -60.99)]),
+    _c("MS", "Montserrat", "CA", 3, [(16.67, 16.83, -62.25, -62.12)], [(16.74, -62.19)]),
+    _c("SX", "Sint Maarten", "CA", 3, [(18.0, 18.07, -63.15, -62.97)], [(18.03, -63.05)]),
+    _c("TC", "Turks and Caicos", "CA", 3, [(21.4, 21.98, -72.5, -71.1)], [(21.46, -71.14)]),
+    _c("VC", "Saint Vincent and the Grenadines", "CA", 3,
+       [(13.1, 13.4, -61.3, -61.1)], [(13.16, -61.23)]),
+    # --- South America --------------------------------------------------------
+    _c("BR", "Brazil", "SA", 1, [(-33.8, 5.3, -74.0, -34.8)],
+       [(-23.55, -46.63), (-22.91, -43.17), (-15.78, -47.93), (-3.12, -60.02)]),
+    _c("AR", "Argentina", "SA", 2, [(-55.0, -21.8, -73.6, -53.6)], [(-34.60, -58.38)]),
+    _c("CL", "Chile", "SA", 2, [(-55.9, -17.5, -75.7, -66.9)], [(-33.45, -70.67)]),
+    _c("PE", "Peru", "SA", 3, [(-18.4, -0.04, -81.3, -68.7)], [(-12.05, -77.04)]),
+    _c("CO", "Colombia", "SA", 2, [(-4.2, 12.5, -79.0, -66.9)], [(4.71, -74.07)]),
+    _c("VE", "Venezuela", "SA", 3, [(0.6, 12.2, -73.4, -59.8)], [(10.48, -66.90)]),
+    _c("EC", "Ecuador", "SA", 3, [(-5.0, 1.5, -81.1, -75.2)], [(-0.18, -78.47)]),
+    _c("BO", "Bolivia", "SA", 3, [(-22.9, -9.7, -69.6, -57.5)], [(-16.49, -68.12)]),
+    _c("PY", "Paraguay", "SA", 3, [(-27.6, -19.3, -62.6, -54.3)], [(-25.26, -57.58)]),
+    _c("UY", "Uruguay", "SA", 3, [(-35.0, -30.1, -58.4, -53.1)], [(-34.90, -56.16)]),
+    _c("GY", "Guyana", "SA", 3, [(1.2, 8.6, -61.4, -56.5)], [(6.80, -58.16)]),
+    _c("SR", "Suriname", "SA", 3, [(1.8, 6.0, -58.1, -54.0)], [(5.85, -55.20)]),
+    _c("TT", "Trinidad and Tobago", "SA", 3, [(10.0, 10.9, -61.9, -60.5)], [(10.65, -61.51)]),
+    _c("FK", "Falkland Islands", "SA", 3, [(-52.4, -51.2, -61.3, -57.7)], [(-51.70, -57.85)]),
+]
+
+
+class CountryRegistry:
+    """Indexable collection of :class:`Country` records.
+
+    The default registry (``CountryRegistry.default()``) contains the
+    built-in world map above.  A custom registry (e.g. a toy two-country
+    world for tests) can be built by passing any iterable of countries.
+    """
+
+    def __init__(self, countries: Sequence[Country] = ()):  # noqa: D401
+        data = list(countries) if countries else list(_COUNTRY_DATA)
+        self._by_iso: Dict[str, Country] = {}
+        for country in data:
+            if country.iso2 in self._by_iso:
+                raise ValueError(f"duplicate country code {country.iso2!r}")
+            self._by_iso[country.iso2] = country
+        self._ordered: List[Country] = data
+
+    @classmethod
+    def default(cls) -> "CountryRegistry":
+        return cls()
+
+    def __len__(self) -> int:
+        return len(self._ordered)
+
+    def __iter__(self):
+        return iter(self._ordered)
+
+    def __contains__(self, iso2: str) -> bool:
+        return iso2 in self._by_iso
+
+    def get(self, iso2: str) -> Country:
+        try:
+            return self._by_iso[iso2]
+        except KeyError:
+            raise KeyError(f"unknown country code {iso2!r}") from None
+
+    def codes(self) -> List[str]:
+        """All ISO-2 codes, in registry order."""
+        return [c.iso2 for c in self._ordered]
+
+    def by_continent(self, continent: str) -> List[Country]:
+        if continent not in CONTINENTS:
+            raise ValueError(f"unknown continent {continent!r}")
+        return [c for c in self._ordered if c.continent == continent]
+
+    def by_hosting_tier(self, tier: int) -> List[Country]:
+        return [c for c in self._ordered if c.hosting_tier == tier]
+
+    def continent_of(self, iso2: str) -> str:
+        return self.get(iso2).continent
+
+    def candidates_at(self, lat: float, lon: float) -> List[Country]:
+        """Every country whose raw boxes contain the point (no tiebreak)."""
+        return [c for c in self._ordered if c.contains(lat, lon)]

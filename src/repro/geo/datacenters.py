@@ -1,0 +1,93 @@
+"""Known data-center locations (substitute for the Wisconsin Internet Atlas).
+
+The paper resolves "uncertain" predictions by checking which known data
+centres fall inside the predicted region (Figure 15): a region that covers
+Argentina and Chile, but contains data centres only in Chile, pins the
+proxy to Chile.  We build the registry synthetically from the world map's
+hosting tiers: tier-1 countries get a data centre at every anchor city,
+tier-2 countries get one at their primary anchor, tier-3 countries get
+none.  This mirrors reality — commercial hosting clusters in a small set
+of countries — and is exactly the asymmetry the disambiguation step
+exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..geodesy.greatcircle import haversine_km, validate_latlon
+from .countries import CountryRegistry
+from .region import Region
+
+
+@dataclass(frozen=True)
+class DataCenter:
+    """One known hosting facility."""
+
+    name: str
+    country: str
+    lat: float
+    lon: float
+
+    def __post_init__(self) -> None:
+        validate_latlon(self.lat, self.lon)
+
+
+class DataCenterRegistry:
+    """Queryable collection of known data centres."""
+
+    def __init__(self, datacenters: Sequence[DataCenter]):
+        self._datacenters = list(datacenters)
+
+    @classmethod
+    def from_registry(cls, registry: Optional[CountryRegistry] = None) -> "DataCenterRegistry":
+        """Build the default synthetic registry from country hosting tiers."""
+        registry = registry if registry is not None else CountryRegistry.default()
+        datacenters: List[DataCenter] = []
+        for country in registry:
+            if country.hosting_tier == 1:
+                sites = country.anchors
+            elif country.hosting_tier == 2:
+                sites = country.anchors[:1]
+            else:
+                continue
+            for site_number, (lat, lon) in enumerate(sites, start=1):
+                datacenters.append(DataCenter(
+                    name=f"{country.iso2}-DC{site_number}",
+                    country=country.iso2,
+                    lat=lat,
+                    lon=lon,
+                ))
+        return cls(datacenters)
+
+    def __len__(self) -> int:
+        return len(self._datacenters)
+
+    def __iter__(self):
+        return iter(self._datacenters)
+
+    def all(self) -> List[DataCenter]:
+        return list(self._datacenters)
+
+    def in_country(self, iso2: str) -> List[DataCenter]:
+        return [dc for dc in self._datacenters if dc.country == iso2]
+
+    def in_region(self, region: Region) -> List[DataCenter]:
+        """All data centres whose location falls inside the region."""
+        return [dc for dc in self._datacenters if region.contains(dc.lat, dc.lon)]
+
+    def countries_with_dc_in_region(self, region: Region) -> List[str]:
+        """Distinct country codes of data centres inside the region."""
+        seen: List[str] = []
+        for dc in self.in_region(region):
+            if dc.country not in seen:
+                seen.append(dc.country)
+        return seen
+
+    def nearest(self, lat: float, lon: float) -> Optional[DataCenter]:
+        """The data centre closest to a point, or None if the registry is empty."""
+        if not self._datacenters:
+            return None
+        return min(self._datacenters,
+                   key=lambda dc: haversine_km(lat, lon, dc.lat, dc.lon))

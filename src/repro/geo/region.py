@@ -1,0 +1,180 @@
+"""Prediction regions: sets of grid cells with geometric queries.
+
+Every geolocation algorithm in :mod:`repro.core` ultimately produces a
+:class:`Region` — the set of places the target could be.  Regions support
+the operations the paper's evaluation needs:
+
+* set algebra (intersection/union/difference) for multilateration,
+* area in km² (Figure 9 panel C, Figure 11, Figure 20),
+* centroid (Figure 9 panel B, Figure 20),
+* distance from a point to the region's edge (Figure 9 panel A),
+* country/continent coverage (the credible/uncertain/false assessment).
+
+Regions are immutable in style: operations return new regions and never
+mutate ``self.mask`` in place (callers may share masks).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from ..geodesy.geometry import SphericalDisk, SphericalRing
+from ..geodesy.greatcircle import haversine_km_vec
+from .grid import Grid
+
+
+class Region:
+    """A set of grid cells on an analysis :class:`~repro.geo.grid.Grid`."""
+
+    __slots__ = ("grid", "mask")
+
+    def __init__(self, grid: Grid, mask: np.ndarray):
+        if mask.shape != (grid.n_cells,):
+            raise ValueError(
+                f"mask shape {mask.shape} does not match grid with {grid.n_cells} cells")
+        if mask.dtype != np.bool_:
+            mask = mask.astype(bool)
+        self.grid = grid
+        self.mask = mask
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def empty(cls, grid: Grid) -> "Region":
+        return cls(grid, np.zeros(grid.n_cells, dtype=bool))
+
+    @classmethod
+    def full(cls, grid: Grid) -> "Region":
+        return cls(grid, np.ones(grid.n_cells, dtype=bool))
+
+    @classmethod
+    def from_disk(cls, grid: Grid, disk: SphericalDisk) -> "Region":
+        return cls(grid, grid.disk_mask(disk.lat, disk.lon, disk.radius_km))
+
+    @classmethod
+    def from_ring(cls, grid: Grid, ring: SphericalRing) -> "Region":
+        return cls(grid, grid.ring_mask(ring.lat, ring.lon, ring.inner_km, ring.outer_km))
+
+    @classmethod
+    def from_cells(cls, grid: Grid, indices: Iterable[int]) -> "Region":
+        mask = np.zeros(grid.n_cells, dtype=bool)
+        for index in indices:
+            if not (0 <= index < grid.n_cells):
+                raise IndexError(f"cell index out of range: {index!r}")
+            mask[index] = True
+        return cls(grid, mask)
+
+    # -- set algebra ----------------------------------------------------------
+
+    def intersect(self, other: "Region") -> "Region":
+        self._check_same_grid(other)
+        return Region(self.grid, self.mask & other.mask)
+
+    def union(self, other: "Region") -> "Region":
+        self._check_same_grid(other)
+        return Region(self.grid, self.mask | other.mask)
+
+    def difference(self, other: "Region") -> "Region":
+        self._check_same_grid(other)
+        return Region(self.grid, self.mask & ~other.mask)
+
+    def intersect_mask(self, mask: np.ndarray) -> "Region":
+        """Intersect with a raw boolean mask (e.g. a land or latitude mask)."""
+        return Region(self.grid, self.mask & mask)
+
+    def _check_same_grid(self, other: "Region") -> None:
+        if other.grid is not self.grid:
+            raise ValueError("regions live on different grids")
+
+    def __and__(self, other: "Region") -> "Region":
+        return self.intersect(other)
+
+    def __or__(self, other: "Region") -> "Region":
+        return self.union(other)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Region):
+            return NotImplemented
+        return self.grid is other.grid and bool(np.array_equal(self.mask, other.mask))
+
+    def __hash__(self):  # regions are mutable-array holders; no hashing
+        raise TypeError("Region is unhashable")
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def is_empty(self) -> bool:
+        return not bool(self.mask.any())
+
+    @property
+    def n_cells(self) -> int:
+        return int(self.mask.sum())
+
+    def area_km2(self) -> float:
+        """Total surface area of the region, km²."""
+        return float(self.grid.cell_areas_km2[self.mask].sum())
+
+    def contains(self, lat: float, lon: float) -> bool:
+        """Is the cell containing this point part of the region?"""
+        return bool(self.mask[self.grid.cell_index(lat, lon)])
+
+    def centroid(self) -> Optional[Tuple[float, float]]:
+        """Area-weighted centroid, or None for an empty region.
+
+        Computed via mean 3-D unit vector, so regions straddling the
+        antimeridian get a sensible answer.
+        """
+        if self.is_empty:
+            return None
+        lats = np.radians(self.grid.cell_lats[self.mask])
+        lons = np.radians(self.grid.cell_lons[self.mask])
+        weights = self.grid.cell_areas_km2[self.mask]
+        x = float(np.average(np.cos(lats) * np.cos(lons), weights=weights))
+        y = float(np.average(np.cos(lats) * np.sin(lons), weights=weights))
+        z = float(np.average(np.sin(lats), weights=weights))
+        norm = np.sqrt(x * x + y * y + z * z)
+        if norm < 1e-12:
+            # Perfectly antipodally-balanced region; fall back to any cell.
+            index = int(np.flatnonzero(self.mask)[0])
+            return self.grid.cell_center(index)
+        lat = float(np.degrees(np.arcsin(z / norm)))
+        lon = float(np.degrees(np.arctan2(y, x)))
+        return lat, lon
+
+    def distance_to_point_km(self, lat: float, lon: float) -> float:
+        """Distance from the point to the nearest cell of the region.
+
+        Zero when the point is inside the region (the Figure 9A
+        "distance from edge to location" metric).  Raises on an empty
+        region — an empty prediction has no edge.
+        """
+        if self.is_empty:
+            raise ValueError("empty region has no distance to anything")
+        if self.contains(lat, lon):
+            return 0.0
+        member_lats = self.grid.cell_lats[self.mask]
+        member_lons = self.grid.cell_lons[self.mask]
+        return float(haversine_km_vec(lat, lon, member_lats, member_lons).min())
+
+    def cell_indices(self) -> np.ndarray:
+        """Indices of all member cells (ascending)."""
+        return np.flatnonzero(self.mask)
+
+    def sample_points(self, max_points: int = 32) -> List[Tuple[float, float]]:
+        """Up to ``max_points`` evenly strided member cell centres.
+
+        Used by disambiguation heuristics that need representative points
+        rather than the full raster.
+        """
+        indices = self.cell_indices()
+        if len(indices) == 0:
+            return []
+        stride = max(1, len(indices) // max_points)
+        chosen = indices[::stride][:max_points]
+        return [self.grid.cell_center(int(i)) for i in chosen]
+
+    def __repr__(self) -> str:
+        return (f"Region(cells={self.n_cells}/{self.grid.n_cells}, "
+                f"area={self.area_km2():.0f} km2)")

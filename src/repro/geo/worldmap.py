@@ -1,0 +1,240 @@
+"""The rasterised world: country/continent assignment on the analysis grid.
+
+A :class:`WorldMap` binds a :class:`~repro.geo.countries.CountryRegistry`
+to a :class:`~repro.geo.grid.Grid` and precomputes, for every grid cell:
+
+* which country owns it (or ocean),
+* which continent that country belongs to,
+* whether it is "plausible terrain" for the paper's final clipping step
+  (on land, south of 85°N, north of 60°S).
+
+Cells claimed by multiple countries' footprint boxes are awarded to the
+country with the nearest anchor point (a major population centre), which
+resolves sloppy box overlaps along borders.  Every country is guaranteed at
+least one cell — the one containing its first anchor — so even micro-states
+(Vatican, Monaco) exist on the map.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..geodesy.constants import MAX_PLAUSIBLE_LATITUDE_DEG, MIN_PLAUSIBLE_LATITUDE_DEG
+from ..geodesy.greatcircle import haversine_km, haversine_km_vec
+from .countries import CONTINENTS, Country, CountryRegistry
+from .grid import Grid
+from .region import Region
+
+OCEAN = -1
+
+
+class WorldMap:
+    """Country and continent rasters over an analysis grid."""
+
+    def __init__(self, registry: Optional[CountryRegistry] = None,
+                 grid: Optional[Grid] = None):
+        self.registry = registry if registry is not None else CountryRegistry.default()
+        self.grid = grid if grid is not None else Grid()
+        self._countries: List[Country] = list(self.registry)
+        self._index_of: Dict[str, int] = {c.iso2: i for i, c in enumerate(self._countries)}
+        self.country_raster = self._rasterize()
+        self.continent_raster = self._continent_raster()
+        self.land_mask = self.country_raster != OCEAN
+        self.plausibility_mask = self.land_mask & self.grid.latitude_band_mask(
+            MIN_PLAUSIBLE_LATITUDE_DEG, MAX_PLAUSIBLE_LATITUDE_DEG)
+
+    # -- raster construction -------------------------------------------------
+
+    def _rasterize(self) -> np.ndarray:
+        grid = self.grid
+        raster = np.full(grid.n_cells, OCEAN, dtype=np.int16)
+        claim_count = np.zeros(grid.n_cells, dtype=np.int16)
+        claims: List[Tuple[int, np.ndarray]] = []
+        for idx, country in enumerate(self._countries):
+            mask = np.zeros(grid.n_cells, dtype=bool)
+            for lat_min, lat_max, lon_min, lon_max in country.boxes:
+                mask |= ((grid.cell_lats >= lat_min) & (grid.cell_lats <= lat_max)
+                         & (grid.cell_lons >= lon_min) & (grid.cell_lons <= lon_max))
+            # An anchor near a box edge can sit in a cell whose *centre*
+            # falls outside the box; the country claims that cell too, so
+            # coastal capitals are never rasterised into the ocean.
+            for anchor_lat, anchor_lon in country.anchors:
+                mask[grid.cell_index(anchor_lat, anchor_lon)] = True
+            claims.append((idx, mask))
+            claim_count += mask
+        # Uncontested cells are assigned directly.
+        for idx, mask in claims:
+            sole = mask & (claim_count == 1)
+            raster[sole] = idx
+        # Contested cells go to the country with the nearest anchor point.
+        contested = np.flatnonzero(claim_count > 1)
+        for cell in contested:
+            lat = float(grid.cell_lats[cell])
+            lon = float(grid.cell_lons[cell])
+            best_idx, best_distance = OCEAN, float("inf")
+            for idx, mask in claims:
+                if not mask[cell]:
+                    continue
+                for anchor_lat, anchor_lon in self._countries[idx].anchors:
+                    d = haversine_km(lat, lon, anchor_lat, anchor_lon)
+                    if d < best_distance:
+                        best_distance = d
+                        best_idx = idx
+            raster[cell] = best_idx
+        # Guarantee every country at least one cell.  Micro-states whose
+        # footprint is smaller than a cell get the cell nearest their
+        # anchor that does not hold another country's anchor (so Vatican
+        # City cannot erase Rome).
+        anchor_cell_of: Dict[int, int] = {}
+        for i, c in enumerate(self._countries):
+            # First-registered country keeps the cell when two anchors
+            # share it (Rome's cell belongs to Italy, not Vatican City).
+            anchor_cell_of.setdefault(grid.cell_index(*c.anchors[0]), i)
+        forced_cells: Dict[int, int] = {}
+        for idx, country in enumerate(self._countries):
+            if (raster == idx).any():
+                continue
+            anchor_lat, anchor_lon = country.anchors[0]
+            distances = grid.distances_from(anchor_lat, anchor_lon)
+            for cell in np.argsort(distances)[:64]:
+                cell = int(cell)
+                owner = anchor_cell_of.get(cell)
+                if cell in forced_cells:
+                    continue  # already granted to another micro-state
+                if owner is None or owner == idx:
+                    raster[cell] = idx
+                    forced_cells[cell] = idx
+                    break
+            else:
+                raster[grid.cell_index(anchor_lat, anchor_lon)] = idx
+        return raster
+
+    def _continent_raster(self) -> np.ndarray:
+        continent_index = {code: i for i, code in enumerate(CONTINENTS)}
+        lookup = np.full(len(self._countries) + 1, OCEAN, dtype=np.int8)
+        for idx, country in enumerate(self._countries):
+            lookup[idx] = continent_index[country.continent]
+        # country_raster has OCEAN == -1; np fancy-indexing with -1 hits the
+        # sentinel slot we appended at the end of `lookup`.
+        return lookup[self.country_raster]
+
+    # -- point queries ----------------------------------------------------------
+
+    def country_at(self, lat: float, lon: float) -> Optional[str]:
+        """ISO-2 code of the country owning the cell at this point, or None."""
+        idx = int(self.country_raster[self.grid.cell_index(lat, lon)])
+        if idx == OCEAN:
+            return None
+        return self._countries[idx].iso2
+
+    def continent_at(self, lat: float, lon: float) -> Optional[str]:
+        """Continent code at this point, or None over ocean."""
+        code = self.country_at(lat, lon)
+        if code is None:
+            return None
+        return self.registry.continent_of(code)
+
+    def is_land(self, lat: float, lon: float) -> bool:
+        return bool(self.land_mask[self.grid.cell_index(lat, lon)])
+
+    # -- region queries -----------------------------------------------------------
+
+    def clip_to_plausible(self, region: Region) -> Region:
+        """Apply the paper's final clipping: land only, 60°S..85°N."""
+        return region.intersect_mask(self.plausibility_mask)
+
+    def country_region(self, iso2: str) -> Region:
+        """The region consisting of every cell owned by ``iso2``."""
+        idx = self._index_of.get(iso2)
+        if idx is None:
+            raise KeyError(f"unknown country code {iso2!r}")
+        return Region(self.grid, self.country_raster == idx)
+
+    def continent_region(self, continent: str) -> Region:
+        if continent not in CONTINENTS:
+            raise ValueError(f"unknown continent {continent!r}")
+        continent_idx = CONTINENTS.index(continent)
+        return Region(self.grid, self.continent_raster == continent_idx)
+
+    def countries_covered(self, region: Region) -> List[str]:
+        """ISO-2 codes of all countries the region overlaps, sorted by area overlap."""
+        indices = self.country_raster[region.mask]
+        indices = indices[indices != OCEAN]
+        if len(indices) == 0:
+            return []
+        areas = region.grid.cell_areas_km2[region.mask][
+            self.country_raster[region.mask] != OCEAN]
+        totals: Dict[int, float] = {}
+        for idx, area in zip(indices, areas):
+            totals[int(idx)] = totals.get(int(idx), 0.0) + float(area)
+        ordered = sorted(totals.items(), key=lambda item: -item[1])
+        return [self._countries[idx].iso2 for idx, _ in ordered]
+
+    def continents_covered(self, region: Region) -> List[str]:
+        """Continent codes the region overlaps, most-covered first."""
+        seen: Dict[str, float] = {}
+        for code in self.countries_covered(region):
+            continent = self.registry.continent_of(code)
+            seen[continent] = seen.get(continent, 0.0) + 1.0
+        return sorted(seen, key=lambda c: -seen[c])
+
+    def distance_to_country_km(self, region: Region, iso2: str) -> float:
+        """Minimum distance between a region and a country's cells, km.
+
+        Zero when they overlap; infinity when the region is empty.
+        """
+        idx = self._index_of.get(iso2)
+        if idx is None:
+            raise KeyError(f"unknown country code {iso2!r}")
+        if region.is_empty:
+            return float("inf")
+        country_mask = self.country_raster == idx
+        if bool((country_mask & region.mask).any()):
+            return 0.0
+        region_lats = self.grid.cell_lats[region.mask]
+        region_lons = self.grid.cell_lons[region.mask]
+        country_lats = self.grid.cell_lats[country_mask]
+        country_lons = self.grid.cell_lons[country_mask]
+        distances = haversine_km_vec(
+            region_lats[:, None], region_lons[:, None],
+            country_lats[None, :], country_lons[None, :])
+        return float(distances.min())
+
+    def covers_country(self, region: Region, iso2: str) -> bool:
+        """Does the region overlap any cell of the country?"""
+        idx = self._index_of.get(iso2)
+        if idx is None:
+            raise KeyError(f"unknown country code {iso2!r}")
+        return bool((self.country_raster[region.mask] == idx).any())
+
+    def within_country(self, region: Region, iso2: str) -> bool:
+        """Is every land cell of the region inside the country?
+
+        Ocean cells are ignored: a coastal disk that spills over water but
+        touches only one country's land is "entirely within" that country
+        for assessment purposes (matching the paper's land clipping).
+        """
+        covered = self.countries_covered(region)
+        return covered == [iso2] if covered else False
+
+    # -- sampling -----------------------------------------------------------------
+
+    def random_point_in(self, iso2: str, rng: np.random.Generator) -> Tuple[float, float]:
+        """A uniformly random land point inside the country (cell-jittered)."""
+        region = self.country_region(iso2)
+        indices = region.cell_indices()
+        if len(indices) == 0:
+            raise ValueError(f"country {iso2!r} owns no cells at this resolution")
+        weights = self.grid.cell_areas_km2[indices]
+        chosen = int(rng.choice(indices, p=weights / weights.sum()))
+        lat, lon = self.grid.cell_center(chosen)
+        half = self.grid.resolution_deg / 2.0
+        jitter_lat = float(rng.uniform(-half, half)) * 0.9
+        jitter_lon = float(rng.uniform(-half, half)) * 0.9
+        return (max(-90.0, min(90.0, lat + jitter_lat)),
+                max(-180.0, min(179.999, lon + jitter_lon)))
+
+    def countries(self) -> Sequence[Country]:
+        return tuple(self._countries)

@@ -1,0 +1,64 @@
+"""Geodesy substrate: great-circle math and spherical shapes.
+
+Everything else in :mod:`repro` sits on top of this package.  The Earth is
+modelled as a sphere of radius :data:`~repro.geodesy.constants.EARTH_RADIUS_KM`;
+that is the model the paper (and CBG before it) uses, and it is accurate to
+well under the country-level granularity this system reasons about.
+"""
+
+from .constants import (
+    BASELINE_SPEED_KM_PER_MS,
+    EARTH_EQUATORIAL_CIRCUMFERENCE_KM,
+    EARTH_LAND_AREA_KM2,
+    EARTH_RADIUS_KM,
+    GEOSTATIONARY_ONE_WAY_MS,
+    ICLAB_SPEED_LIMIT_KM_PER_MS,
+    MAX_PLAUSIBLE_LATITUDE_DEG,
+    MAX_SURFACE_DISTANCE_KM,
+    MIN_PLAUSIBLE_LATITUDE_DEG,
+    SLOWLINE_SPEED_KM_PER_MS,
+    SPEED_OF_LIGHT_KM_PER_MS,
+    one_way_ms_to_max_km,
+    rtt_ms_to_one_way_ms,
+)
+from .geometry import SphericalDisk, SphericalRing, disk_contains_disk, disks_intersect
+from .greatcircle import (
+    destination_point,
+    geodesic_path,
+    haversine_km,
+    haversine_km_vec,
+    initial_bearing_deg,
+    interpolate,
+    midpoint,
+    normalize_lon,
+    validate_latlon,
+)
+
+__all__ = [
+    "BASELINE_SPEED_KM_PER_MS",
+    "EARTH_EQUATORIAL_CIRCUMFERENCE_KM",
+    "EARTH_LAND_AREA_KM2",
+    "EARTH_RADIUS_KM",
+    "GEOSTATIONARY_ONE_WAY_MS",
+    "ICLAB_SPEED_LIMIT_KM_PER_MS",
+    "MAX_PLAUSIBLE_LATITUDE_DEG",
+    "MAX_SURFACE_DISTANCE_KM",
+    "MIN_PLAUSIBLE_LATITUDE_DEG",
+    "SLOWLINE_SPEED_KM_PER_MS",
+    "SPEED_OF_LIGHT_KM_PER_MS",
+    "SphericalDisk",
+    "SphericalRing",
+    "destination_point",
+    "disk_contains_disk",
+    "disks_intersect",
+    "geodesic_path",
+    "haversine_km",
+    "haversine_km_vec",
+    "initial_bearing_deg",
+    "interpolate",
+    "midpoint",
+    "normalize_lon",
+    "one_way_ms_to_max_km",
+    "rtt_ms_to_one_way_ms",
+    "validate_latlon",
+]

@@ -1,0 +1,76 @@
+"""Physical constants used throughout the geolocation pipeline.
+
+All distances are kilometres, all times are milliseconds, and all speeds
+are kilometres per millisecond unless a name says otherwise.  These values
+come straight from the paper (Weinberg et al., IMC 2018) and the CBG paper
+(Gueye et al., IMC 2004).
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Mean Earth radius (spherical model), km.  The paper's analysis treats the
+#: Earth as a sphere; sub-0.5 % flattening error is irrelevant at the
+#: country-confirmation scale the paper works at.
+EARTH_RADIUS_KM = 6371.0088
+
+#: Equatorial circumference of the Earth, km.  Quoted in the paper when
+#: deriving the slowline: "No landmark can be farther than half the
+#: equatorial circumference of the Earth, 20 037.508 km, from the target."
+EARTH_EQUATORIAL_CIRCUMFERENCE_KM = 40075.017
+
+#: Half the equatorial circumference: the farthest any two points on the
+#: surface can be from each other, km.
+MAX_SURFACE_DISTANCE_KM = EARTH_EQUATORIAL_CIRCUMFERENCE_KM / 2.0
+
+#: Speed of light in a vacuum, km/ms.
+SPEED_OF_LIGHT_KM_PER_MS = 299.792458
+
+#: CBG's "baseline" packet speed: 2/3 c, approximately the propagation speed
+#: of light in fibre-optic cable, km per ms of *one-way* travel time.
+BASELINE_SPEED_KM_PER_MS = 200.0
+
+#: CBG++'s "slowline" speed bound, km/ms.  One-way times above 237 ms could
+#: involve a geostationary satellite hop (which can bridge any two points on
+#: a hemisphere), so they carry no distance information:
+#: 20 037.508 km / 237 ms = 84.5 km/ms.
+SLOWLINE_SPEED_KM_PER_MS = MAX_SURFACE_DISTANCE_KM / 237.0
+
+#: One-way delay, ms, beyond which a measurement may have traversed a
+#: geostationary satellite and is therefore uninformative.
+GEOSTATIONARY_ONE_WAY_MS = 237.0
+
+#: ICLab's "speed of internet" limit (Katz-Bassett et al. plus some slack):
+#: 153 km/ms = 0.5104 c, used by their country-disproof checker.
+ICLAB_SPEED_LIMIT_KM_PER_MS = 153.0
+
+#: Latitude clipping applied to every final prediction region, degrees.
+#: "we exclude all terrain north of 85N and south of 60S" (paper, section 3).
+MAX_PLAUSIBLE_LATITUDE_DEG = 85.0
+MIN_PLAUSIBLE_LATITUDE_DEG = -60.0
+
+#: Approximate land area of the Earth, km^2, used to normalise region areas
+#: the way Figure 9 (panel C) does.  One square megametre (Mm^2) is 1e6 km^2.
+EARTH_LAND_AREA_KM2 = 148.9e6
+
+DEG_TO_RAD = math.pi / 180.0
+RAD_TO_DEG = 180.0 / math.pi
+
+
+def one_way_ms_to_max_km(one_way_ms: float, speed_km_per_ms: float = BASELINE_SPEED_KM_PER_MS) -> float:
+    """Upper bound on the distance a packet can have covered in ``one_way_ms``.
+
+    The bound is capped at half the Earth's circumference: no surface path
+    is longer than that, however large the delay.
+    """
+    if one_way_ms < 0:
+        raise ValueError(f"negative one-way delay: {one_way_ms!r}")
+    return min(one_way_ms * speed_km_per_ms, MAX_SURFACE_DISTANCE_KM)
+
+
+def rtt_ms_to_one_way_ms(rtt_ms: float) -> float:
+    """Convert a round-trip time to the one-way delay the models consume."""
+    if rtt_ms < 0:
+        raise ValueError(f"negative round-trip time: {rtt_ms!r}")
+    return rtt_ms / 2.0

@@ -1,0 +1,98 @@
+"""Spherical shapes used by the multilateration engines.
+
+A :class:`SphericalDisk` is the locus of points within ``radius_km`` of a
+centre — what CBG draws per landmark.  A :class:`SphericalRing` adds an
+inner radius — what Quasi-Octant and the Hybrid draw.  Shapes know how to
+test points (scalar and vectorised) and report their analytic area, which
+the tests use to cross-check the grid raster's area estimates.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from .constants import EARTH_RADIUS_KM, MAX_SURFACE_DISTANCE_KM
+from .greatcircle import haversine_km, haversine_km_vec, validate_latlon
+
+
+@dataclass(frozen=True)
+class SphericalDisk:
+    """All points within ``radius_km`` great-circle distance of the centre."""
+
+    lat: float
+    lon: float
+    radius_km: float
+
+    def __post_init__(self) -> None:
+        validate_latlon(self.lat, self.lon)
+        if self.radius_km < 0:
+            raise ValueError(f"negative radius: {self.radius_km!r}")
+
+    def contains(self, lat: float, lon: float) -> bool:
+        return haversine_km(self.lat, self.lon, lat, lon) <= self.radius_km
+
+    def contains_vec(self, lats: np.ndarray, lons: np.ndarray) -> np.ndarray:
+        return haversine_km_vec(self.lat, self.lon, lats, lons) <= self.radius_km
+
+    @property
+    def is_whole_earth(self) -> bool:
+        """True when the disk covers every point on the sphere."""
+        return self.radius_km >= MAX_SURFACE_DISTANCE_KM
+
+    def area_km2(self) -> float:
+        """Analytic area of the spherical cap."""
+        theta = min(self.radius_km / EARTH_RADIUS_KM, math.pi)
+        return 2.0 * math.pi * EARTH_RADIUS_KM ** 2 * (1.0 - math.cos(theta))
+
+
+@dataclass(frozen=True)
+class SphericalRing:
+    """All points between ``inner_km`` and ``outer_km`` of the centre (an annulus)."""
+
+    lat: float
+    lon: float
+    inner_km: float
+    outer_km: float
+
+    def __post_init__(self) -> None:
+        validate_latlon(self.lat, self.lon)
+        if self.inner_km < 0:
+            raise ValueError(f"negative inner radius: {self.inner_km!r}")
+        if self.outer_km < self.inner_km:
+            raise ValueError(
+                f"outer radius {self.outer_km!r} smaller than inner {self.inner_km!r}")
+
+    def contains(self, lat: float, lon: float) -> bool:
+        d = haversine_km(self.lat, self.lon, lat, lon)
+        return self.inner_km <= d <= self.outer_km
+
+    def contains_vec(self, lats: np.ndarray, lons: np.ndarray) -> np.ndarray:
+        d = haversine_km_vec(self.lat, self.lon, lats, lons)
+        return (d >= self.inner_km) & (d <= self.outer_km)
+
+    def area_km2(self) -> float:
+        """Analytic area: outer cap minus inner cap."""
+        outer = SphericalDisk(self.lat, self.lon, self.outer_km).area_km2()
+        inner = SphericalDisk(self.lat, self.lon, self.inner_km).area_km2()
+        return outer - inner
+
+
+def disks_intersect(a: SphericalDisk, b: SphericalDisk) -> bool:
+    """Do two spherical disks share at least one point?
+
+    On a sphere two caps intersect iff the centre separation does not
+    exceed the sum of the angular radii (each capped at pi).
+    """
+    d = haversine_km(a.lat, a.lon, b.lat, b.lon)
+    return d <= min(a.radius_km + b.radius_km, MAX_SURFACE_DISTANCE_KM)
+
+
+def disk_contains_disk(outer: SphericalDisk, inner: SphericalDisk) -> bool:
+    """Is ``inner`` entirely inside ``outer``?"""
+    if outer.is_whole_earth:
+        return True
+    d = haversine_km(outer.lat, outer.lon, inner.lat, inner.lon)
+    return d + inner.radius_km <= outer.radius_km

@@ -1,0 +1,192 @@
+"""Persistence: archive audit results as JSON and reload them.
+
+A real auditing deployment (the paper's §8.1: "repeat the measurements
+over time, and report on whether providers become more or less honest")
+needs results on disk in a stable, diffable format.  The schema is
+self-describing and versioned; prediction regions are stored as grid
+cell-index lists against a recorded grid resolution, so they reload
+exactly — the loader rejects files whose resolution does not match the
+grid it is given.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from .core.assessment import ClaimAssessment, ContinentVerdict, Verdict
+from .core.disambiguation import AuditRecord
+from .experiments.audit import AuditResult
+from .geo.grid import Grid
+from .geo.region import Region
+
+SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class StoredServer:
+    """The server identity fields preserved in an archive.
+
+    Ground-truth simulator fields (``honest``, the true host) are *not*
+    stored: an archive mimics what a real audit could publish.
+    """
+
+    hostname: str
+    ip: str
+    provider: str
+    claimed_country: str
+    asn: int
+    prefix: str
+
+
+@dataclass
+class StoredRecord:
+    """One reloaded audit record."""
+
+    server: StoredServer
+    region: Region
+    assessment: ClaimAssessment
+    initial_verdict: Optional[Verdict]
+
+
+@dataclass
+class StoredAudit:
+    """A reloaded archive: records plus run metadata."""
+
+    records: List[StoredRecord]
+    eta: float
+    reclassified: Dict[str, int]
+    schema_version: int = SCHEMA_VERSION
+
+    def verdict_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for record in self.records:
+            value = record.assessment.verdict.value
+            counts[value] = counts.get(value, 0) + 1
+        return counts
+
+
+def _assessment_to_dict(assessment: ClaimAssessment) -> dict:
+    return {
+        "claimed_country": assessment.claimed_country,
+        "verdict": assessment.verdict.value,
+        "continent_verdict": assessment.continent_verdict.value,
+        "countries_covered": list(assessment.countries_covered),
+        "region_area_km2": assessment.region_area_km2,
+        "resolved_country": assessment.resolved_country,
+        "resolution_method": assessment.resolution_method,
+    }
+
+
+def _assessment_from_dict(payload: dict) -> ClaimAssessment:
+    return ClaimAssessment(
+        claimed_country=payload["claimed_country"],
+        verdict=Verdict(payload["verdict"]),
+        continent_verdict=ContinentVerdict(payload["continent_verdict"]),
+        countries_covered=list(payload["countries_covered"]),
+        region_area_km2=float(payload["region_area_km2"]),
+        resolved_country=payload.get("resolved_country"),
+        resolution_method=payload.get("resolution_method"),
+    )
+
+
+def _record_to_dict(record: AuditRecord) -> dict:
+    server = record.server
+    return {
+        "server": {
+            "hostname": server.hostname,
+            "ip": server.ip,
+            "provider": server.provider,
+            "claimed_country": server.claimed_country,
+            "asn": server.asn,
+            "prefix": server.prefix,
+        },
+        "region_cells": [int(i) for i in record.region.cell_indices()],
+        "assessment": _assessment_to_dict(record.assessment),
+        "initial_verdict": (record.initial_verdict.value
+                            if record.initial_verdict else None),
+    }
+
+
+def save_audit(result: AuditResult, path: Union[str, Path]) -> Path:
+    """Write an audit archive; returns the path written."""
+    if not result.records:
+        raise ValueError("refusing to archive an empty audit")
+    grid = result.records[0].region.grid
+    payload = {
+        "schema_version": SCHEMA_VERSION,
+        "grid_resolution_deg": grid.resolution_deg,
+        "eta": result.eta.eta,
+        "eta_r_squared": result.eta.r_squared,
+        "reclassified": dict(result.reclassified),
+        "records": [_record_to_dict(record) for record in result.records],
+    }
+    path = Path(path)
+    path.write_text(json.dumps(payload, indent=1, sort_keys=True))
+    return path
+
+
+def load_audit(path: Union[str, Path], grid: Grid) -> StoredAudit:
+    """Reload an archive onto a grid of the recorded resolution."""
+    payload = json.loads(Path(path).read_text())
+    version = payload.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise ValueError(f"unsupported schema version {version!r}")
+    stored_resolution = payload["grid_resolution_deg"]
+    if abs(stored_resolution - grid.resolution_deg) > 1e-9:
+        raise ValueError(
+            f"archive was made on a {stored_resolution} degree grid, "
+            f"got {grid.resolution_deg}")
+    records: List[StoredRecord] = []
+    for entry in payload["records"]:
+        server_payload = entry["server"]
+        initial = entry.get("initial_verdict")
+        records.append(StoredRecord(
+            server=StoredServer(
+                hostname=server_payload["hostname"],
+                ip=server_payload["ip"],
+                provider=server_payload["provider"],
+                claimed_country=server_payload["claimed_country"],
+                asn=int(server_payload["asn"]),
+                prefix=server_payload["prefix"],
+            ),
+            region=Region.from_cells(grid, entry["region_cells"]),
+            assessment=_assessment_from_dict(entry["assessment"]),
+            initial_verdict=Verdict(initial) if initial else None,
+        ))
+    return StoredAudit(
+        records=records,
+        eta=float(payload["eta"]),
+        reclassified={k: int(v) for k, v in payload["reclassified"].items()},
+    )
+
+
+def compare_audits(old: StoredAudit, new: StoredAudit) -> Dict[str, List[str]]:
+    """Longitudinal diff (§8.1): which claims changed verdict between runs.
+
+    Keyed by transition ("false -> credible", ...), values are server IPs.
+    Servers present in only one archive are reported under "added" /
+    "removed".
+    """
+    old_by_ip = {record.server.ip: record for record in old.records}
+    new_by_ip = {record.server.ip: record for record in new.records}
+    changes: Dict[str, List[str]] = {}
+
+    def note(key: str, ip: str) -> None:
+        changes.setdefault(key, []).append(ip)
+
+    for ip, new_record in new_by_ip.items():
+        old_record = old_by_ip.get(ip)
+        if old_record is None:
+            note("added", ip)
+            continue
+        before = old_record.assessment.verdict.value
+        after = new_record.assessment.verdict.value
+        if before != after:
+            note(f"{before} -> {after}", ip)
+    for ip in old_by_ip:
+        if ip not in new_by_ip:
+            note("removed", ip)
+    return changes

@@ -1,0 +1,92 @@
+"""Synthetic Internet substrate.
+
+Replaces every external measurement dependency of the paper — RIPE Atlas,
+the commercial VPN fleets, the crowdsourced cohort, and the IP-to-location
+databases — with seeded, internally consistent simulations.  See DESIGN.md
+section 2 for the substitution table.
+"""
+
+from .adversary import STRATEGIES, AdversarialTunnel
+from .atlas import ANCHOR_QUOTAS, PROBE_QUOTAS, AtlasConstellation, Landmark
+from .cities import (
+    CONGESTION_SCALE_MS,
+    GLOBAL_HUBS,
+    REGIONAL_HUBS,
+    SATELLITE_ONLY_COUNTRIES,
+    City,
+    build_cities,
+    cities_by_continent,
+)
+from .crowd import CROWD_QUOTAS, CrowdHost, build_crowd
+from .hosts import Host, HostFactory
+from .ipdb import DEFAULT_DATABASES, IpToLocationDatabase, IpdbPanel
+from .network import Network, Unreachable
+from .proxies import (
+    PROVIDER_PROFILES,
+    ProxiedClient,
+    ProxyServer,
+    VpnProvider,
+    build_proxy_fleet,
+    competitor_claim_counts,
+)
+from .tools import (
+    BROWSER_OUTLIER_MEAN_MS,
+    CliTool,
+    MeasurementSample,
+    NavigationTimingWebTool,
+    WebTool,
+)
+from .traceroute import (
+    Hop,
+    TracerouteResult,
+    survey_measurement_channels,
+    traceroute,
+    traceroute_through_proxy,
+)
+from .topology import AutonomousSystem, RouterId, Topology, build_topology
+
+__all__ = [
+    "ANCHOR_QUOTAS",
+    "AdversarialTunnel",
+    "STRATEGIES",
+    "AtlasConstellation",
+    "AutonomousSystem",
+    "BROWSER_OUTLIER_MEAN_MS",
+    "CONGESTION_SCALE_MS",
+    "CROWD_QUOTAS",
+    "City",
+    "CliTool",
+    "CrowdHost",
+    "DEFAULT_DATABASES",
+    "GLOBAL_HUBS",
+    "Host",
+    "HostFactory",
+    "IpToLocationDatabase",
+    "IpdbPanel",
+    "Landmark",
+    "MeasurementSample",
+    "NavigationTimingWebTool",
+    "Hop",
+    "TracerouteResult",
+    "survey_measurement_channels",
+    "traceroute",
+    "traceroute_through_proxy",
+    "Network",
+    "PROBE_QUOTAS",
+    "PROVIDER_PROFILES",
+    "ProxiedClient",
+    "ProxyServer",
+    "REGIONAL_HUBS",
+    "RouterId",
+    "SATELLITE_ONLY_COUNTRIES",
+    "Topology",
+    "Unreachable",
+    "VpnProvider",
+    "WebTool",
+    "build_cities",
+    "build_crowd",
+    "build_proxy_fleet",
+    "build_topology",
+    "cities_by_continent",
+    "competitor_claim_counts",
+]

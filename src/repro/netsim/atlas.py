@@ -1,0 +1,234 @@
+"""A RIPE-Atlas-like measurement constellation.
+
+Roughly 250 "anchors" and a larger population of "probes", placed with the
+same continental skew as the real RIPE Atlas (Figure 3 of the paper:
+most anchors in Europe, North America well represented, a handful in
+Africa).  Anchors continuously ping each other; the resulting full-mesh
+database is what the geolocation algorithms calibrate their per-landmark
+delay–distance models from, exactly as the paper does with RIPE's public
+measurement archive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..geodesy.greatcircle import haversine_km
+from .cities import City
+from .hosts import Host, HostFactory
+from .network import Network
+
+#: Target anchor counts per continent, mirroring the paper's Figure 3 skew.
+ANCHOR_QUOTAS: Dict[str, int] = {
+    "EU": 118, "NA": 55, "AS": 28, "SA": 14, "AF": 12, "OC": 10, "AU": 8, "CA": 5,
+}
+
+#: Probe counts per continent (probes are also skewed, but less so).
+PROBE_QUOTAS: Dict[str, int] = {
+    "EU": 300, "NA": 180, "AS": 120, "SA": 60, "AF": 50, "OC": 40, "AU": 30, "CA": 25,
+}
+
+
+@dataclass(frozen=True)
+class Landmark:
+    """A constellation host usable as a geolocation landmark.
+
+    ``reported_lat/lon`` model RIPE's user-supplied probe locations: for a
+    small fraction of probes they are wrong, and the geolocation pipeline
+    (which can only see the reported coordinates) inherits that error.
+    Anchors' documented locations are accurate.
+    """
+
+    host: Host
+    kind: str  # "anchor" or "probe"
+    reported_lat: Optional[float] = None
+    reported_lon: Optional[float] = None
+
+    @property
+    def lat(self) -> float:
+        """The location the pipeline believes — reported, not true."""
+        return self.reported_lat if self.reported_lat is not None else self.host.lat
+
+    @property
+    def lon(self) -> float:
+        return self.reported_lon if self.reported_lon is not None else self.host.lon
+
+    @property
+    def location_is_wrong(self) -> bool:
+        return (self.reported_lat is not None
+                and (abs(self.reported_lat - self.host.lat) > 0.5
+                     or abs(self.reported_lon - self.host.lon) > 0.5))
+
+    @property
+    def name(self) -> str:
+        return self.host.name
+
+
+class AtlasConstellation:
+    """Anchors + probes + the mesh-ping database they continuously produce."""
+
+    #: Ping samples per landmark pair in the "two-week" calibration window.
+    CALIBRATION_SAMPLES = 8
+
+    #: Fraction of probes whose user-reported location is wrong (shifted by
+    #: hundreds of km).  Zero for anchors.
+    PROBE_LOCATION_ERROR_RATE = 0.03
+
+    def __init__(self, network: Network, factory: HostFactory, seed: int = 0,
+                 anchor_quotas: Optional[Dict[str, int]] = None,
+                 probe_quotas: Optional[Dict[str, int]] = None):
+        self.network = network
+        self._rng = np.random.default_rng(seed)
+        self._factory = factory
+        self.anchors: List[Landmark] = []
+        self.probes: List[Landmark] = []
+        self.decommissioned: List[Landmark] = []
+        self._mesh_cache: Dict[Tuple[int, int], float] = {}
+        self._churn_counter = 0
+        self._place(factory, anchor_quotas or ANCHOR_QUOTAS,
+                    probe_quotas or PROBE_QUOTAS)
+
+    # -- placement ----------------------------------------------------------
+
+    def _eligible_cities(self, continent: str, for_anchors: bool) -> List[City]:
+        cities = [c for c in self.network.topology.cities
+                  if c.continent == continent and not c.satellite_only]
+        if for_anchors:
+            # Anchors live in well-connected facilities; prefer hubs but
+            # fall back to any city on sparse continents.
+            hubs = [c for c in cities if c.is_hub]
+            return hubs if hubs else cities
+        return cities
+
+    def _place_cohort(self, factory: HostFactory, quotas: Dict[str, int],
+                      kind: str) -> List[Landmark]:
+        cohort: List[Landmark] = []
+        for continent, quota in sorted(quotas.items()):
+            cities = self._eligible_cities(continent, for_anchors=(kind == "anchor"))
+            if not cities:
+                continue
+            for i in range(quota):
+                city = cities[int(self._rng.integers(len(cities)))]
+                # Jitter within ~30 km of the city centre.
+                lat = city.lat + float(self._rng.normal(0.0, 0.15))
+                lon = city.lon + float(self._rng.normal(0.0, 0.15))
+                lat = max(-89.9, min(89.9, lat))
+                lon = max(-179.9, min(179.9, lon))
+                host = factory.create(
+                    lat, lon, name=f"{kind}-{continent}-{i}",
+                    os="linux",
+                    responds_to_ping=True,
+                    listens_on_port_80=bool(self._rng.random() < 0.5),
+                    city_id=city.city_id)
+                reported_lat = reported_lon = None
+                if (kind == "probe"
+                        and self._rng.random() < self.PROBE_LOCATION_ERROR_RATE):
+                    # User typo / stale registration: off by 200-1500 km.
+                    reported_lat = max(-89.9, min(89.9, lat + float(
+                        self._rng.uniform(-8.0, 8.0))))
+                    reported_lon = max(-179.9, min(179.9, lon + float(
+                        self._rng.uniform(-12.0, 12.0))))
+                cohort.append(Landmark(host=host, kind=kind,
+                                       reported_lat=reported_lat,
+                                       reported_lon=reported_lon))
+        return cohort
+
+    def _place(self, factory: HostFactory, anchor_quotas: Dict[str, int],
+               probe_quotas: Dict[str, int]) -> None:
+        self.anchors = self._place_cohort(factory, anchor_quotas, "anchor")
+        self.probes = self._place_cohort(factory, probe_quotas, "probe")
+
+    # -- mesh database --------------------------------------------------------
+
+    def all_landmarks(self) -> List[Landmark]:
+        return self.anchors + self.probes
+
+    def min_one_way_ms(self, a: Landmark, b: Landmark) -> float:
+        """Minimum observed one-way delay between two landmarks, ms.
+
+        Models the paper's use of two weeks of archived mesh pings: the
+        reported value is half the minimum of several RTT samples, seeded
+        deterministically per pair so the "database" is stable.
+        """
+        key = (min(a.host.host_id, b.host.host_id),
+               max(a.host.host_id, b.host.host_id))
+        cached = self._mesh_cache.get(key)
+        if cached is None:
+            pair_rng = np.random.default_rng(key)
+            rtt = self.network.min_rtt_ms(a.host, b.host,
+                                          n=self.CALIBRATION_SAMPLES, rng=pair_rng)
+            cached = rtt / 2.0
+            self._mesh_cache[key] = cached
+        return cached
+
+    def calibration_data(self, landmark: Landmark,
+                         peers: Optional[Sequence[Landmark]] = None
+                         ) -> List[Tuple[float, float]]:
+        """(distance_km, min_one_way_ms) pairs for fitting a delay model.
+
+        By default a landmark is calibrated against every *anchor* (probes
+        do not ping the full mesh), excluding itself.
+        """
+        peers = peers if peers is not None else self.anchors
+        data: List[Tuple[float, float]] = []
+        for peer in peers:
+            if peer.host.host_id == landmark.host.host_id:
+                continue
+            # Distances are computed from *reported* coordinates — the
+            # pipeline cannot know a probe's registration is wrong.
+            distance = haversine_km(landmark.lat, landmark.lon,
+                                    peer.lat, peer.lon)
+            data.append((distance, self.min_one_way_ms(landmark, peer)))
+        if len(data) < 2:
+            raise ValueError(
+                f"not enough peers to calibrate {landmark.name!r}")
+        return data
+
+    def apply_churn(self, n_decommission: int = 0, n_add: int = 0,
+                    rng: Optional[np.random.Generator] = None) -> None:
+        """Simulate constellation churn over a measurement campaign.
+
+        The paper (section 4): "At the time we began our experiments ...
+        there were 207 usable anchors; during the course of the
+        experiment, 12 were decommissioned and another 61 were added."
+        Decommissioned anchors stop being selectable as landmarks (their
+        archived mesh pings remain in the cache, as RIPE's archive does);
+        added anchors appear at hub cities like the originals.
+
+        Calibration sets built before churn keep working for surviving
+        landmarks; rebuild :class:`~repro.core.calibrationset.CalibrationSet`
+        to pick up the newcomers.
+        """
+        rng = rng if rng is not None else self._rng
+        if n_decommission > len(self.anchors) - 8:
+            raise ValueError("cannot decommission nearly the whole constellation")
+        for _ in range(n_decommission):
+            index = int(rng.integers(len(self.anchors)))
+            self.decommissioned.append(self.anchors.pop(index))
+        for i in range(n_add):
+            continent = ("EU", "NA", "AS")[int(rng.integers(3))]
+            cities = self._eligible_cities(continent, for_anchors=True)
+            city = cities[int(rng.integers(len(cities)))]
+            self._churn_counter += 1
+            host = self._factory.create(
+                city.lat + float(rng.normal(0.0, 0.15)),
+                city.lon + float(rng.normal(0.0, 0.15)),
+                name=f"anchor-new-{self._churn_counter}",
+                os="linux", responds_to_ping=True,
+                listens_on_port_80=bool(rng.random() < 0.5),
+                city_id=city.city_id)
+            self.anchors.append(Landmark(host=host, kind="anchor"))
+
+    def landmarks_on_continent(self, continent: str) -> List[Landmark]:
+        """Anchors and stable probes located on a continent."""
+        topology = self.network.topology
+        return [lm for lm in self.all_landmarks()
+                if topology.city(lm.host.city_id).continent == continent]
+
+    def anchors_on_continent(self, continent: str) -> List[Landmark]:
+        topology = self.network.topology
+        return [lm for lm in self.anchors
+                if topology.city(lm.host.city_id).continent == continent]

@@ -1,0 +1,180 @@
+"""World cities for the synthetic Internet.
+
+Cities are derived from the world map's country anchor points (real
+major-city coordinates), so the network substrate and the geographic
+substrate can never disagree about where a city is.  A curated table marks
+the global interconnection hubs (Frankfurt, Amsterdam, London, Ashburn,
+Singapore, ...) and regional hubs; everything else is an access city.
+
+Each city also carries a *congestion scale* — the mean of the exponential
+queueing delay added to measurements traversing it.  The scale varies by
+continent (Europe and North America are well-provisioned; Africa and parts
+of Asia are not), which is precisely the regional asymmetry the paper
+leans on to explain why simple delay models beat sophisticated ones at
+global scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..geo.countries import CountryRegistry
+
+#: (iso2, anchor_index) -> proper name, for the world's major interconnection
+#: hubs.  hub_level 2 = global hub (tier-1 backbones interconnect here).
+GLOBAL_HUBS: Dict[Tuple[str, int], str] = {
+    ("DE", 1): "Frankfurt",
+    ("NL", 0): "Amsterdam",
+    ("GB", 0): "London",
+    ("FR", 0): "Paris",
+    ("US", 0): "New York",
+    ("US", 10): "Ashburn",
+    ("US", 1): "Los Angeles",
+    ("US", 7): "Miami",
+    ("US", 5): "Seattle",
+    ("SG", 0): "Singapore",
+    ("JP", 0): "Tokyo",
+    ("HK", 0): "Hong Kong",
+    ("AU", 0): "Sydney",
+    ("BR", 0): "São Paulo",
+    ("ZA", 0): "Johannesburg",
+    ("RU", 0): "Moscow",
+    ("SE", 0): "Stockholm",
+    ("IN", 0): "Mumbai",
+}
+
+#: hub_level 1 = regional hub (regional transit ASes interconnect here).
+REGIONAL_HUBS: Dict[Tuple[str, int], str] = {
+    ("DE", 0): "Berlin",
+    ("DE", 2): "Munich",
+    ("CZ", 0): "Prague",
+    ("PL", 0): "Warsaw",
+    ("AT", 0): "Vienna",
+    ("CH", 0): "Zurich",
+    ("IT", 1): "Milan",
+    ("ES", 0): "Madrid",
+    ("DK", 0): "Copenhagen",
+    ("IE", 0): "Dublin",
+    ("RO", 0): "Bucharest",
+    ("TR", 0): "Istanbul",
+    ("RU", 1): "Saint Petersburg",
+    ("UA", 0): "Kyiv",
+    ("US", 2): "Chicago",
+    ("US", 3): "Houston",
+    ("US", 4): "Atlanta",
+    ("US", 6): "Denver",
+    ("US", 9): "San Francisco",
+    ("US", 11): "Dallas",
+    ("CA", 0): "Toronto",
+    ("CA", 1): "Montreal",
+    ("CA", 2): "Vancouver",
+    ("MX", 0): "Mexico City",
+    ("BR", 1): "Rio de Janeiro",
+    ("AR", 0): "Buenos Aires",
+    ("CL", 0): "Santiago",
+    ("CO", 0): "Bogotá",
+    ("PA", 0): "Panama City",
+    ("JP", 1): "Osaka",
+    ("KR", 0): "Seoul",
+    ("TW", 0): "Taipei",
+    ("CN", 0): "Beijing",
+    ("CN", 1): "Shanghai",
+    ("CN", 2): "Guangzhou",
+    ("IN", 1): "Delhi",
+    ("IN", 2): "Bengaluru",
+    ("TH", 0): "Bangkok",
+    ("VN", 1): "Ho Chi Minh City",
+    ("MY", 0): "Kuala Lumpur",
+    ("ID", 0): "Jakarta",
+    ("PH", 0): "Manila",
+    ("AU", 1): "Melbourne",
+    ("AU", 3): "Perth",
+    ("NZ", 0): "Auckland",
+    ("AE", 0): "Dubai",
+    ("IL", 0): "Tel Aviv",
+    ("EG", 0): "Cairo",
+    ("KE", 0): "Nairobi",
+    ("NG", 0): "Lagos",
+    ("ZA", 1): "Cape Town",
+}
+
+#: Countries whose only connectivity is a geostationary satellite uplink.
+#: One-way delays through these exceed the paper's 237 ms usefulness bound.
+SATELLITE_ONLY_COUNTRIES = frozenset(
+    {"PN", "FK", "SB", "GL", "KI", "MH", "FM", "NR", "NF"})
+
+#: Mean queueing-delay scale (ms, exponential) by continent — the substrate's
+#: model of regional congestion.
+CONGESTION_SCALE_MS: Dict[str, float] = {
+    "EU": 0.6,
+    "NA": 0.8,
+    "AU": 1.0,
+    "OC": 2.0,
+    "AS": 2.8,
+    "AF": 3.5,
+    "CA": 1.8,
+    "SA": 2.0,
+}
+
+#: Extra congestion multiplier for countries with poor hosting infrastructure.
+_TIER_CONGESTION_FACTOR = {1: 1.0, 2: 1.4, 3: 2.2}
+
+
+@dataclass(frozen=True)
+class City:
+    """One city on the synthetic Internet."""
+
+    city_id: int
+    name: str
+    iso2: str
+    continent: str
+    lat: float
+    lon: float
+    hub_level: int          # 2 global hub, 1 regional hub, 0 access city
+    satellite_only: bool    # reachable only via geostationary satellite
+    congestion_scale_ms: float
+
+    @property
+    def is_hub(self) -> bool:
+        return self.hub_level > 0
+
+
+def build_cities(registry: Optional[CountryRegistry] = None) -> List[City]:
+    """Build the full city list from the country registry's anchors."""
+    registry = registry if registry is not None else CountryRegistry.default()
+    cities: List[City] = []
+    for country in registry:
+        satellite_only = country.iso2 in SATELLITE_ONLY_COUNTRIES
+        base_congestion = CONGESTION_SCALE_MS[country.continent]
+        congestion = base_congestion * _TIER_CONGESTION_FACTOR[country.hosting_tier]
+        if satellite_only:
+            congestion *= 3.0
+        for anchor_index, (lat, lon) in enumerate(country.anchors):
+            key = (country.iso2, anchor_index)
+            if key in GLOBAL_HUBS:
+                name, hub_level = GLOBAL_HUBS[key], 2
+            elif key in REGIONAL_HUBS:
+                name, hub_level = REGIONAL_HUBS[key], 1
+            else:
+                name, hub_level = f"{country.name} {anchor_index + 1}", 0
+            cities.append(City(
+                city_id=len(cities),
+                name=name,
+                iso2=country.iso2,
+                continent=country.continent,
+                lat=lat,
+                lon=lon,
+                hub_level=hub_level,
+                satellite_only=satellite_only,
+                congestion_scale_ms=congestion,
+            ))
+    return cities
+
+
+def cities_by_continent(cities: List[City]) -> Dict[str, List[City]]:
+    """Group a city list by continent code."""
+    grouped: Dict[str, List[City]] = {}
+    for city in cities:
+        grouped.setdefault(city.continent, []).append(city)
+    return grouped

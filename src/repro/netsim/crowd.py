@@ -1,0 +1,72 @@
+"""The crowdsourced validation cohort (section 5 of the paper).
+
+40 volunteers plus 150 Mechanical Turk workers, in self-reported locations
+rounded to two decimal places (~10 km of position uncertainty), measured
+with the *web* tool — mostly under Windows, which matters because that is
+the noisiest measurement regime and part of why CBG wins the comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..geo.worldmap import WorldMap
+from .hosts import Host, HostFactory
+from .tools import BROWSER_OUTLIER_MEAN_MS
+
+#: Continental distribution of crowdsourced hosts (Figure 8: majority in
+#: Europe and North America, "but we have enough contributors elsewhere
+#: for statistics").
+CROWD_QUOTAS: Dict[str, int] = {
+    "EU": 62, "NA": 58, "AS": 24, "SA": 14, "AF": 10, "OC": 10, "CA": 7, "AU": 5,
+}
+
+#: Fraction of contributors running Windows (paper: "most").
+WINDOWS_FRACTION = 0.72
+
+
+@dataclass(frozen=True)
+class CrowdHost:
+    """One crowdsourced contributor: a host plus their reported location."""
+
+    host: Host
+    reported_lat: float     # rounded to 2 decimals, as contributors reported
+    reported_lon: float
+    browser: str
+    cohort: str             # "volunteer" or "mturk"
+
+    @property
+    def true_location(self):
+        return (self.host.lat, self.host.lon)
+
+
+def build_crowd(factory: HostFactory, worldmap: WorldMap, seed: int = 0,
+                quotas: Optional[Dict[str, int]] = None) -> List[CrowdHost]:
+    """Place the crowdsourced cohort at random land points per continent."""
+    rng = np.random.default_rng(seed)
+    quotas = quotas if quotas is not None else CROWD_QUOTAS
+    browsers = sorted(BROWSER_OUTLIER_MEAN_MS)
+    crowd: List[CrowdHost] = []
+    n_volunteers = 40
+    for continent, quota in sorted(quotas.items()):
+        countries = [c for c in worldmap.registry.by_continent(continent)
+                     if c.hosting_tier <= 2]
+        if not countries:
+            countries = worldmap.registry.by_continent(continent)
+        for i in range(quota):
+            country = countries[int(rng.integers(len(countries)))]
+            lat, lon = worldmap.random_point_in(country.iso2, rng)
+            os = "windows" if rng.random() < WINDOWS_FRACTION else "linux"
+            host = factory.create(lat, lon, name=f"crowd-{continent}-{i}", os=os)
+            cohort = "volunteer" if len(crowd) < n_volunteers else "mturk"
+            crowd.append(CrowdHost(
+                host=host,
+                reported_lat=round(lat, 2),
+                reported_lon=round(lon, 2),
+                browser=browsers[int(rng.integers(len(browsers)))],
+                cohort=cohort,
+            ))
+    return crowd

@@ -1,0 +1,132 @@
+"""The network facade: path latencies and RTT sampling.
+
+Separates the *deterministic* part of a round-trip time (routed path
+propagation + last miles, cached per router pair) from the *stochastic*
+part (queueing noise, congestion spikes), which is resampled per
+measurement.  The decomposition is what lets calibration behave like the
+real Internet: the minimum of many samples approaches the routed-path
+floor, which is still above the great-circle/200 km/ms physical floor
+because routes are circuitous.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import networkx as nx
+import numpy as np
+
+from .hosts import Host
+from .topology import RouterId, Topology
+
+
+class Unreachable(Exception):
+    """Raised when no path exists between two routers."""
+
+
+class Network:
+    """Latency oracle over a :class:`~repro.netsim.topology.Topology`."""
+
+    _PATH_CACHE_SLOTS = 4096
+
+    def __init__(self, topology: Topology, seed: int = 0):
+        self.topology = topology
+        self._rng = np.random.default_rng(seed)
+        self._sssp_cache: Dict[RouterId, Dict[RouterId, float]] = {}
+        self._cached_version = topology.version
+
+    def _check_version(self) -> None:
+        """Drop shortest-path caches if the topology grew new routers."""
+        if self.topology.version != self._cached_version:
+            self._sssp_cache.clear()
+            self._cached_version = self.topology.version
+
+    # -- deterministic part ---------------------------------------------------
+
+    def _distances_from(self, router: RouterId) -> Dict[RouterId, float]:
+        cached = self._sssp_cache.get(router)
+        if cached is None:
+            if router not in self.topology.graph:
+                raise Unreachable(f"router {router!r} is not in the graph")
+            cached = nx.single_source_dijkstra_path_length(
+                self.topology.graph, router, weight="latency_ms")
+            if len(self._sssp_cache) >= self._PATH_CACHE_SLOTS:
+                self._sssp_cache.clear()
+            self._sssp_cache[router] = cached
+        return cached
+
+    def path_one_way_ms(self, a: RouterId, b: RouterId) -> float:
+        """Routed one-way delay between two routers, ms."""
+        if a == b:
+            return 0.0
+        self._check_version()
+        distances = self._sssp_cache.get(a)
+        if distances is None and b in self._sssp_cache:
+            a, b = b, a
+            distances = self._sssp_cache[a]
+        if distances is None:
+            distances = self._distances_from(a)
+        try:
+            return float(distances[b])
+        except KeyError:
+            raise Unreachable(f"no path between {a!r} and {b!r}") from None
+
+    def route(self, a: RouterId, b: RouterId) -> list:
+        """The router-level path between two routers (for traceroute).
+
+        Not cached: traceroute is a diagnostic, not a hot path.
+        """
+        if a not in self.topology.graph or b not in self.topology.graph:
+            raise Unreachable(f"router {a!r} or {b!r} not in the graph")
+        try:
+            return nx.shortest_path(self.topology.graph, a, b,
+                                    weight="latency_ms")
+        except nx.NetworkXNoPath:
+            raise Unreachable(f"no path between {a!r} and {b!r}") from None
+
+    def base_one_way_ms(self, a: Host, b: Host) -> float:
+        """Deterministic one-way delay between two hosts, ms."""
+        return (a.last_mile_ms + self.path_one_way_ms(a.router, b.router)
+                + b.last_mile_ms)
+
+    def base_rtt_ms(self, a: Host, b: Host) -> float:
+        """Deterministic round-trip floor between two hosts, ms."""
+        return 2.0 * self.base_one_way_ms(a, b)
+
+    # -- stochastic part ---------------------------------------------------------
+
+    def _queueing_noise_ms(self, a: Host, b: Host,
+                           rng: np.random.Generator) -> float:
+        """One sample of round-trip queueing delay, ms.
+
+        Exponential with a scale set by the endpoint cities' congestion,
+        plus rare heavy congestion spikes (intermediate routers can add
+        "unbounded delays" — Li et al., quoted in the paper).
+        """
+        scale = (self.topology.city(a.city_id).congestion_scale_ms
+                 + self.topology.city(b.city_id).congestion_scale_ms)
+        noise = float(rng.exponential(scale))
+        if rng.random() < 0.02:
+            noise += float(rng.exponential(60.0))
+        return noise
+
+    def rtt_sample_ms(self, a: Host, b: Host,
+                      rng: Optional[np.random.Generator] = None) -> float:
+        """One measured round-trip time between two hosts, ms."""
+        rng = rng if rng is not None else self._rng
+        return self.base_rtt_ms(a, b) + self._queueing_noise_ms(a, b, rng)
+
+    def rtt_samples_ms(self, a: Host, b: Host, n: int,
+                       rng: Optional[np.random.Generator] = None) -> np.ndarray:
+        """``n`` independent RTT samples between two hosts, ms."""
+        if n < 1:
+            raise ValueError(f"need at least one sample: {n!r}")
+        rng = rng if rng is not None else self._rng
+        base = self.base_rtt_ms(a, b)
+        return np.array([base + self._queueing_noise_ms(a, b, rng)
+                         for _ in range(n)])
+
+    def min_rtt_ms(self, a: Host, b: Host, n: int = 3,
+                   rng: Optional[np.random.Generator] = None) -> float:
+        """Minimum of ``n`` RTT samples — what ping-based tools report."""
+        return float(self.rtt_samples_ms(a, b, n, rng).min())

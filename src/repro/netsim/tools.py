@@ -1,0 +1,220 @@
+"""The two measurement tools: command-line and web-based.
+
+The paper's CLI tool times a bare TCP ``connect()`` — exactly one network
+round-trip, with negligible client-side overhead on Linux.  The web tool
+must use the browser ``fetch`` API and times a request it knows will fail;
+depending on whether the landmark listens on port 80 it observes **one or
+two** round-trips (SYN/SYN-ACK, optionally + ClientHello/error), and it
+cannot tell which.  On Windows the browser stack adds substantial noise
+and, for some measurements, "high outliers" whose magnitude depends on the
+browser rather than the distance (Figures 5–6).
+
+These behaviours are modelled here so that the algorithm-validation
+experiments face the same measurement pathologies the paper's did.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .atlas import Landmark
+from .hosts import Host
+from .network import Network
+
+#: Browser-dependent mean of the Windows "high outlier" delay, ms.  The
+#: paper found outlier magnitude "primarily dependent on the browser".
+BROWSER_OUTLIER_MEAN_MS: Dict[str, float] = {
+    "chrome-68": 900.0,
+    "firefox-52": 1500.0,
+    "firefox-61": 1200.0,
+    "edge-17": 2400.0,
+}
+
+#: Probability that a single Windows web measurement is a high outlier.
+WINDOWS_OUTLIER_PROBABILITY = 0.06
+
+#: Per-browser overhead on Windows: (constant ms, noise scale ms).  The
+#: paper's ANOVA finds a significant *browser* effect on Windows (but no
+#: tool effect on Linux); these parameters are that effect.
+WINDOWS_BROWSER_OVERHEAD_MS: Dict[str, tuple] = {
+    "chrome-68": (6.0, 8.0),
+    "firefox-52": (18.0, 16.0),
+    "firefox-61": (12.0, 12.0),
+    "edge-17": (28.0, 22.0),
+}
+
+
+@dataclass(frozen=True)
+class MeasurementSample:
+    """One timed exchange between a client and a landmark."""
+
+    landmark_name: str
+    distance_km: float       # true client–landmark distance (known in the sim)
+    rtt_ms: float            # what the tool reports
+    n_round_trips: int       # 1 or 2 (the web tool cannot observe this)
+    tool: str                # "cli" or "web"
+    browser: Optional[str] = None
+    os: str = "linux"
+    is_outlier: bool = False
+
+    @property
+    def apparent_one_way_ms(self) -> float:
+        """What a consumer that assumes one round-trip would compute."""
+        return self.rtt_ms / 2.0
+
+
+class CliTool:
+    """The standalone TCP-connect measurement program (Linux/NetBSD).
+
+    ``connect()`` returns after exactly one round-trip whether the port is
+    open (SYN-ACK) or closed (RST → "connection refused"); both outcomes
+    are valid measurements.  Other errors are discarded by the real tool;
+    the simulator's network never produces them.
+    """
+
+    name = "cli"
+
+    def __init__(self, network: Network, seed: int = 0):
+        self.network = network
+        self._rng = np.random.default_rng(seed)
+
+    def measure(self, client: Host, landmark: Landmark,
+                rng: Optional[np.random.Generator] = None) -> MeasurementSample:
+        rng = rng if rng is not None else self._rng
+        rtt = self.network.rtt_sample_ms(client, landmark.host, rng)
+        # Kernel-level socket timing: sub-millisecond client overhead.
+        rtt += float(rng.uniform(0.05, 0.5))
+        return MeasurementSample(
+            landmark_name=landmark.name,
+            distance_km=client.distance_to(landmark.host),
+            rtt_ms=rtt,
+            n_round_trips=1,
+            tool=self.name,
+            os=client.os,
+        )
+
+    def measure_many(self, client: Host, landmarks: Sequence[Landmark],
+                     rng: Optional[np.random.Generator] = None
+                     ) -> List[MeasurementSample]:
+        return [self.measure(client, lm, rng) for lm in landmarks]
+
+
+class NavigationTimingWebTool:
+    """The paper's proposed web-tool successor (§8.1).
+
+    The W3C Navigation Timing API exposes per-phase connection timings to
+    the page, so a web application could report exactly one round-trip —
+    *if* the measured server opts in ("it can only be used if each server
+    involved allows it, and currently none of the RIPE Atlas anchors and
+    probes do").  This tool uses the API against landmarks in
+    ``supporting_landmarks`` and falls back to the classic 1-or-2-RTT
+    behaviour elsewhere, so experiments can quantify how much accuracy a
+    partial RIPE deployment would buy.
+    """
+
+    name = "web-navtiming"
+
+    def __init__(self, network: Network, browser: str = "chrome-68",
+                 seed: int = 0, supporting_landmarks: Sequence[str] = ()):
+        self._classic = WebTool(network, browser=browser, seed=seed)
+        self.network = network
+        self.browser = browser
+        self.supporting_landmarks = frozenset(supporting_landmarks)
+        self._rng = np.random.default_rng(seed)
+
+    def measure(self, client: Host, landmark: Landmark,
+                rng: Optional[np.random.Generator] = None) -> MeasurementSample:
+        rng = rng if rng is not None else self._rng
+        if landmark.name not in self.supporting_landmarks:
+            sample = self._classic.measure(client, landmark, rng)
+            return MeasurementSample(
+                landmark_name=sample.landmark_name,
+                distance_km=sample.distance_km,
+                rtt_ms=sample.rtt_ms,
+                n_round_trips=sample.n_round_trips,
+                tool=self.name,
+                browser=sample.browser,
+                os=sample.os,
+                is_outlier=sample.is_outlier,
+            )
+        # The API reports connectEnd - connectStart: one clean round-trip,
+        # free of the request/response phases and most browser overhead.
+        rtt = self.network.rtt_sample_ms(client, landmark.host, rng)
+        rtt += float(rng.uniform(0.1, 1.0))  # timestamp resolution + JS
+        return MeasurementSample(
+            landmark_name=landmark.name,
+            distance_km=client.distance_to(landmark.host),
+            rtt_ms=rtt,
+            n_round_trips=1,
+            tool=self.name,
+            browser=self.browser,
+            os=client.os,
+        )
+
+    def measure_many(self, client: Host, landmarks: Sequence[Landmark],
+                     rng: Optional[np.random.Generator] = None
+                     ) -> List[MeasurementSample]:
+        return [self.measure(client, lm, rng) for lm in landmarks]
+
+
+class WebTool:
+    """The browser-based measurement application.
+
+    Issues an HTTPS request to port 80 and times the failure.  If the
+    landmark is not listening on port 80 the connection is refused after
+    one round-trip; if it is listening, the TLS ClientHello triggers a
+    protocol error after a *second* round-trip.  The client cannot
+    distinguish the two cases.
+    """
+
+    name = "web"
+
+    def __init__(self, network: Network, browser: str = "chrome-68", seed: int = 0):
+        if browser not in BROWSER_OUTLIER_MEAN_MS:
+            raise ValueError(f"unknown browser {browser!r}; "
+                             f"expected one of {sorted(BROWSER_OUTLIER_MEAN_MS)}")
+        self.network = network
+        self.browser = browser
+        self._rng = np.random.default_rng(seed)
+
+    def _client_overhead_ms(self, client: Host, rng: np.random.Generator) -> float:
+        """JavaScript / browser-stack overhead added to every measurement."""
+        if client.os == "windows":
+            # Timer coarseness + socket-pool contention, browser-dependent.
+            constant, scale = WINDOWS_BROWSER_OVERHEAD_MS[self.browser]
+            return float(constant + rng.exponential(scale)
+                         + rng.uniform(2.0, 10.0))
+        # "a testament to the efficiency of modern JavaScript interpreters"
+        return float(rng.uniform(0.3, 2.5))
+
+    def measure(self, client: Host, landmark: Landmark,
+                rng: Optional[np.random.Generator] = None) -> MeasurementSample:
+        rng = rng if rng is not None else self._rng
+        n_round_trips = 2 if landmark.host.listens_on_port_80 else 1
+        rtt = 0.0
+        for _ in range(n_round_trips):
+            rtt += self.network.rtt_sample_ms(client, landmark.host, rng)
+        rtt += self._client_overhead_ms(client, rng)
+        is_outlier = False
+        if client.os == "windows" and rng.random() < WINDOWS_OUTLIER_PROBABILITY:
+            mean = BROWSER_OUTLIER_MEAN_MS[self.browser]
+            rtt += float(abs(rng.normal(mean, mean * 0.25)))
+            is_outlier = True
+        return MeasurementSample(
+            landmark_name=landmark.name,
+            distance_km=client.distance_to(landmark.host),
+            rtt_ms=rtt,
+            n_round_trips=n_round_trips,
+            tool=self.name,
+            browser=self.browser,
+            os=client.os,
+            is_outlier=is_outlier,
+        )
+
+    def measure_many(self, client: Host, landmarks: Sequence[Landmark],
+                     rng: Optional[np.random.Generator] = None
+                     ) -> List[MeasurementSample]:
+        return [self.measure(client, lm, rng) for lm in landmarks]

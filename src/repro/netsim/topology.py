@@ -1,0 +1,284 @@
+"""Autonomous-system topology and the router-level graph.
+
+The synthetic Internet is a three-tier AS hierarchy:
+
+* **Tier 1** — a handful of global backbones, present at every global hub
+  and a sample of regional hubs, densely interconnected.
+* **Tier 2** — regional transit networks, one handful per continent,
+  present at that continent's hubs and most of its access cities.  The
+  *number* of tier-2 networks per continent encodes the paper's network-
+  geometry observation: Europe and North America are richly connected
+  (many alternative paths, low route circuitousness), Africa and parts of
+  Asia are not (traffic detours through a few distant hubs).
+* **Tier 3** — an access/eyeball AS in every city, plus hosting ASes
+  created on demand for data centres (see :mod:`repro.netsim.proxies`).
+
+Routers are ``(asn, city_id)`` pairs.  Intra-AS links follow a spanning
+tree over the AS's presence cities plus a few shortcut links; inter-AS
+links exist where two ASes share a city (an IXP).  Link delay is
+great-circle distance at 200 km/ms (the physical floor the geolocation
+algorithms assume) times a per-link cable-inflation factor, plus per-hop
+processing.  Satellite-only cities attach via a geostationary hop with a
+ungeographic ~250 ms one-way delay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import networkx as nx
+import numpy as np
+
+from ..geodesy.constants import BASELINE_SPEED_KM_PER_MS
+from ..geodesy.greatcircle import haversine_km
+from .cities import City
+
+RouterId = Tuple[int, int]  # (asn, city_id)
+
+#: Tier-2 transit ASes per continent: the substrate's "network geometry" knob.
+REGIONAL_AS_COUNT: Dict[str, int] = {
+    "EU": 6, "NA": 5, "AS": 3, "AF": 2, "SA": 2, "CA": 2, "OC": 2, "AU": 2,
+}
+
+#: Fraction of a continent's access cities each tier-2 AS reaches.
+REGIONAL_AS_COVERAGE: Dict[str, float] = {
+    "EU": 0.75, "NA": 0.75, "AS": 0.5, "AF": 0.4, "SA": 0.55, "CA": 0.5,
+    "OC": 0.5, "AU": 0.9,
+}
+
+N_BACKBONES = 8
+
+#: One-way delay of a geostationary satellite hop, ms (up + down).
+SATELLITE_HOP_ONE_WAY_MS = 250.0
+
+
+@dataclass(frozen=True)
+class AutonomousSystem:
+    """One AS: a number, a tier, and the cities where it has routers."""
+
+    asn: int
+    name: str
+    tier: int
+    city_ids: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if self.tier not in (1, 2, 3):
+            raise ValueError(f"AS{self.asn}: tier must be 1, 2 or 3")
+        if not self.city_ids:
+            raise ValueError(f"AS{self.asn}: needs at least one presence city")
+
+
+@dataclass
+class Topology:
+    """The router graph plus its AS bookkeeping.
+
+    ``version`` increments on every structural mutation (hosting-AS
+    creation); latency caches key off it to stay coherent.
+    """
+
+    cities: List[City]
+    ases: List[AutonomousSystem]
+    graph: nx.Graph
+    access_as_of_city: Dict[int, int]
+    _next_asn: int = field(default=0)
+    version: int = field(default=0)
+
+    def city(self, city_id: int) -> City:
+        return self.cities[city_id]
+
+    def as_by_asn(self, asn: int) -> AutonomousSystem:
+        for autonomous_system in self.ases:
+            if autonomous_system.asn == asn:
+                return autonomous_system
+        raise KeyError(f"unknown ASN {asn}")
+
+    def access_router(self, city_id: int) -> RouterId:
+        """The access-AS router in a city — where end hosts attach."""
+        return (self.access_as_of_city[city_id], city_id)
+
+    def add_hosting_as(self, name: str, city_id: int,
+                       rng: np.random.Generator) -> AutonomousSystem:
+        """Create a tier-3 hosting AS at a data-centre city.
+
+        The new AS gets a router at the city, linked to every other AS
+        present there (hosting networks are richly peered).  Used by the
+        proxy substrate to give proxies realistic AS/prefix metadata.
+        """
+        asn = self._next_asn
+        self._next_asn += 1
+        self.version += 1
+        hosting_as = AutonomousSystem(asn=asn, name=name, tier=3, city_ids=(city_id,))
+        self.ases.append(hosting_as)
+        router: RouterId = (asn, city_id)
+        self.graph.add_node(router)
+        peers = [node for node in self.graph.nodes
+                 if node[1] == city_id and node != router]
+        for peer in peers:
+            self.graph.add_edge(router, peer,
+                                latency_ms=float(rng.uniform(0.2, 0.8)))
+        return hosting_as
+
+
+def _link_latency_ms(a: City, b: City, rng: np.random.Generator,
+                     inflation_range: Tuple[float, float] = (1.1, 1.7)) -> float:
+    """Propagation delay of a physical link between two cities, one-way ms."""
+    distance = haversine_km(a.lat, a.lon, b.lat, b.lon)
+    inflation = float(rng.uniform(*inflation_range))
+    processing = float(rng.uniform(0.2, 0.8))
+    return distance * inflation / BASELINE_SPEED_KM_PER_MS + processing
+
+
+def _spanning_links(city_ids: Sequence[int], cities: List[City],
+                    extra_per_node: int = 1) -> List[Tuple[int, int]]:
+    """A spanning tree over the cities plus nearest-neighbour shortcuts.
+
+    Produces a connected intra-AS backbone whose paths are somewhat
+    circuitous (traffic follows the tree) but with enough shortcuts for
+    route diversity in dense regions.
+    """
+    ids = list(city_ids)
+    if len(ids) == 1:
+        return []
+    links: List[Tuple[int, int]] = []
+    # Prim's algorithm over great-circle distances.
+    in_tree = {ids[0]}
+    remaining = set(ids[1:])
+    while remaining:
+        best: Optional[Tuple[int, int]] = None
+        best_distance = float("inf")
+        for u in in_tree:
+            cu = cities[u]
+            for v in remaining:
+                cv = cities[v]
+                d = haversine_km(cu.lat, cu.lon, cv.lat, cv.lon)
+                if d < best_distance:
+                    best_distance = d
+                    best = (u, v)
+        assert best is not None
+        links.append(best)
+        in_tree.add(best[1])
+        remaining.discard(best[1])
+    # Shortcuts: each city also links to its nearest non-tree neighbours.
+    if extra_per_node > 0 and len(ids) > 3:
+        existing = {frozenset(link) for link in links}
+        for u in ids:
+            cu = cities[u]
+            by_distance = sorted(
+                (v for v in ids if v != u),
+                key=lambda v: haversine_km(cu.lat, cu.lon, cities[v].lat, cities[v].lon))
+            added = 0
+            for v in by_distance:
+                key = frozenset((u, v))
+                if key in existing:
+                    continue
+                links.append((u, v))
+                existing.add(key)
+                added += 1
+                if added >= extra_per_node:
+                    break
+    return links
+
+
+def build_topology(cities: List[City], seed: int = 0) -> Topology:
+    """Construct the full three-tier topology over a city list."""
+    rng = np.random.default_rng(seed)
+    ases: List[AutonomousSystem] = []
+    next_asn = 64512  # private-use ASN space; purely cosmetic
+
+    global_hubs = [c.city_id for c in cities if c.hub_level == 2]
+    if not global_hubs:
+        raise ValueError("city list has no global hubs; topology would be degenerate")
+
+    # Tier 1 backbones.
+    regional_hubs = [c.city_id for c in cities if c.hub_level == 1]
+    for i in range(N_BACKBONES):
+        sampled = [h for h in regional_hubs if rng.random() < 0.45]
+        presence = tuple(sorted(set(global_hubs) | set(sampled)))
+        ases.append(AutonomousSystem(next_asn, f"Backbone-{i + 1}", 1, presence))
+        next_asn += 1
+
+    # Tier 2 regional transit.
+    by_continent: Dict[str, List[City]] = {}
+    for city in cities:
+        by_continent.setdefault(city.continent, []).append(city)
+    for continent, continent_cities in sorted(by_continent.items()):
+        hubs_here = [c.city_id for c in continent_cities if c.is_hub]
+        access_here = [c.city_id for c in continent_cities
+                       if not c.is_hub and not c.satellite_only]
+        count = REGIONAL_AS_COUNT.get(continent, 2)
+        coverage = REGIONAL_AS_COVERAGE.get(continent, 0.5)
+        for i in range(count):
+            n_access = max(1, int(round(coverage * len(access_here)))) if access_here else 0
+            chosen = (list(rng.choice(access_here, size=n_access, replace=False))
+                      if n_access else [])
+            presence = tuple(sorted(set(hubs_here) | set(int(c) for c in chosen)))
+            if not presence:
+                continue
+            ases.append(AutonomousSystem(
+                next_asn, f"{continent}-Transit-{i + 1}", 2, presence))
+            next_asn += 1
+
+    # Tier 3 access AS in every city.
+    access_as_of_city: Dict[int, int] = {}
+    for city in cities:
+        ases.append(AutonomousSystem(
+            next_asn, f"Access-{city.name}", 3, (city.city_id,)))
+        access_as_of_city[city.city_id] = next_asn
+        next_asn += 1
+
+    graph = nx.Graph()
+    for autonomous_system in ases:
+        for city_id in autonomous_system.city_ids:
+            graph.add_node((autonomous_system.asn, city_id))
+
+    # Intra-AS links for multi-city ASes.
+    for autonomous_system in ases:
+        if len(autonomous_system.city_ids) < 2:
+            continue
+        extra = 2 if autonomous_system.tier == 1 else 1
+        for u, v in _spanning_links(autonomous_system.city_ids, cities, extra_per_node=extra):
+            latency = _link_latency_ms(cities[u], cities[v], rng)
+            graph.add_edge((autonomous_system.asn, u), (autonomous_system.asn, v),
+                           latency_ms=latency)
+
+    # Inter-AS peering at shared cities (IXPs).
+    presence_at_city: Dict[int, List[int]] = {}
+    for autonomous_system in ases:
+        for city_id in autonomous_system.city_ids:
+            presence_at_city.setdefault(city_id, []).append(autonomous_system.asn)
+    for city_id, asns in presence_at_city.items():
+        for i, asn_a in enumerate(asns):
+            for asn_b in asns[i + 1:]:
+                graph.add_edge((asn_a, city_id), (asn_b, city_id),
+                               latency_ms=float(rng.uniform(0.3, 1.2)))
+
+    # Backhaul for cities whose access AS is otherwise isolated: connect to
+    # the nearest city that has transit.  Satellite-only cities get a
+    # geostationary hop instead of fibre.
+    transit_cities = sorted({city_id for a in ases if a.tier <= 2
+                             for city_id in a.city_ids})
+    for city in cities:
+        router = (access_as_of_city[city.city_id], city.city_id)
+        if graph.degree(router) > 0 and not city.satellite_only:
+            continue
+        candidates = [cid for cid in transit_cities if cid != city.city_id]
+        nearest = min(candidates, key=lambda cid: haversine_km(
+            city.lat, city.lon, cities[cid].lat, cities[cid].lon))
+        target_asn = next(a.asn for a in ases
+                          if a.tier <= 2 and nearest in a.city_ids)
+        if city.satellite_only:
+            latency = SATELLITE_HOP_ONE_WAY_MS + float(rng.uniform(0.0, 10.0))
+        else:
+            # Backhaul fibre is more circuitous than metro links.
+            latency = _link_latency_ms(city, cities[nearest], rng,
+                                       inflation_range=(1.3, 2.2))
+        # Remove any IXP edges a satellite city might have picked up: its
+        # only way out is the satellite hop.
+        if city.satellite_only:
+            for neighbor in list(graph.neighbors(router)):
+                graph.remove_edge(router, neighbor)
+        graph.add_edge(router, (target_asn, nearest), latency_ms=latency)
+
+    return Topology(cities=cities, ases=ases, graph=graph,
+                    access_as_of_city=access_as_of_city, _next_asn=next_asn)

@@ -1,0 +1,33 @@
+"""Statistics substrate: regressions, ECDFs, confusion matrices, hulls."""
+
+from .cdf import Ecdf, ecdf
+from .confusion import ConfusionMatrix, CooccurrenceMatrix, LabelMatrix
+from .hull import convex_hull, lower_hull, piecewise_interpolate, upper_hull
+from .regression import (
+    AnovaResult,
+    LinearFit,
+    bootstrap_slope_ci,
+    f_test_nested,
+    grouped_line_rss,
+    ols_fit,
+    theil_sen_fit,
+)
+
+__all__ = [
+    "AnovaResult",
+    "ConfusionMatrix",
+    "CooccurrenceMatrix",
+    "Ecdf",
+    "LabelMatrix",
+    "LinearFit",
+    "bootstrap_slope_ci",
+    "convex_hull",
+    "ecdf",
+    "f_test_nested",
+    "grouped_line_rss",
+    "lower_hull",
+    "ols_fit",
+    "piecewise_interpolate",
+    "theil_sen_fit",
+    "upper_hull",
+]

@@ -1,0 +1,50 @@
+"""Empirical CDFs, used by the Figure 9 precision plots."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Ecdf:
+    """An empirical cumulative distribution function.
+
+    ``values`` are sorted ascending; ``fractions[i]`` is the fraction of
+    observations ≤ ``values[i]``.
+    """
+
+    values: np.ndarray
+    fractions: np.ndarray
+
+    @property
+    def n(self) -> int:
+        return len(self.values)
+
+    def at(self, x: float) -> float:
+        """P(X ≤ x)."""
+        return float(np.searchsorted(self.values, x, side="right")) / self.n
+
+    def quantile(self, q: float) -> float:
+        """Smallest value v with P(X ≤ v) ≥ q."""
+        if not (0.0 < q <= 1.0):
+            raise ValueError(f"quantile must be in (0, 1]: {q!r}")
+        index = int(np.ceil(q * self.n)) - 1
+        return float(self.values[max(index, 0)])
+
+    def series(self, points: Sequence[float]) -> List[Tuple[float, float]]:
+        """(x, P(X ≤ x)) pairs at the requested x positions — a plot series."""
+        return [(float(p), self.at(float(p))) for p in points]
+
+
+def ecdf(observations: Sequence[float]) -> Ecdf:
+    """Build an ECDF from raw observations."""
+    values = np.sort(np.asarray(observations, dtype=float))
+    if len(values) == 0:
+        raise ValueError("cannot build an ECDF from no observations")
+    if np.isnan(values).any():
+        raise ValueError("observations contain NaN")
+    fractions = np.arange(1, len(values) + 1, dtype=float) / len(values)
+    return Ecdf(values=values, fractions=fractions)

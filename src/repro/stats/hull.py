@@ -1,0 +1,108 @@
+"""Convex hulls of 2-D scatter data.
+
+Quasi-Octant's delay model is "the convex hull of the scatterplot of delay
+as a function of distance" — concretely, the *lower-left* boundary of the
+(distance, delay) cloud gives the fastest observed travel per distance,
+and the upper boundary the slowest.  The monotone-chain construction here
+returns those boundaries as piecewise-linear functions (one y per x), and
+:func:`convex_hull` returns the full polygon.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+Point = Tuple[float, float]
+
+
+def _cross(o: Point, a: Point, b: Point) -> float:
+    """Z-component of (a - o) × (b - o); >0 for a counter-clockwise turn."""
+    return (a[0] - o[0]) * (b[1] - o[1]) - (a[1] - o[1]) * (b[0] - o[0])
+
+
+def _prepare(points: Sequence[Point]) -> List[Point]:
+    unique = sorted(set((float(x), float(y)) for x, y in points))
+    if len(unique) < 2:
+        raise ValueError("need at least two distinct points")
+    if len({x for x, _ in unique}) < 2:
+        # All points share one x: the boundary-as-a-function view these
+        # hulls exist for (delay vs distance) is undefined.
+        raise ValueError("need at least two distinct x values")
+    return unique
+
+
+def _dedupe_by_x(pts: Sequence[Point], keep_max_y: bool) -> List[Point]:
+    """Collapse same-x points to a single representative.
+
+    A boundary-as-a-function holds one y per x: the smallest for a lower
+    boundary, the largest for an upper one.
+    """
+    best: Dict[float, float] = {}
+    for x, y in pts:
+        if x not in best:
+            best[x] = y
+        else:
+            best[x] = max(best[x], y) if keep_max_y else min(best[x], y)
+    return sorted(best.items())
+
+
+def _chain(pts: Sequence[Point], lower: bool) -> List[Point]:
+    """Monotone-chain half hull over x-sorted points."""
+    hull: List[Point] = []
+    for p in pts:
+        if lower:
+            while len(hull) >= 2 and _cross(hull[-2], hull[-1], p) <= 0:
+                hull.pop()
+        else:
+            while len(hull) >= 2 and _cross(hull[-2], hull[-1], p) >= 0:
+                hull.pop()
+        hull.append(p)
+    return hull
+
+
+def lower_hull(points: Sequence[Point]) -> List[Point]:
+    """Lower boundary of the convex hull, left-to-right.
+
+    For (distance, delay) data this is the "fast frontier": the smallest
+    delay observed at or below each distance, linearly interpolated.
+    """
+    return _chain(_dedupe_by_x(_prepare(points), keep_max_y=False), lower=True)
+
+
+def upper_hull(points: Sequence[Point]) -> List[Point]:
+    """Upper boundary of the convex hull, left-to-right."""
+    return _chain(_dedupe_by_x(_prepare(points), keep_max_y=True), lower=False)
+
+
+def convex_hull(points: Sequence[Point]) -> List[Point]:
+    """Full convex hull, counter-clockwise, starting at the leftmost point."""
+    pts = _prepare(points)
+    lower = _chain(pts, lower=True)
+    upper = _chain(pts, lower=False)
+    return lower[:-1] + upper[::-1][:-1]
+
+
+def piecewise_interpolate(hull: Sequence[Point], x: float) -> float:
+    """Evaluate a left-to-right piecewise-linear boundary at ``x``.
+
+    Outside the hull's x-range the nearest segment is extrapolated,
+    matching how Octant extends its empirical speed curves.
+    """
+    if len(hull) < 2:
+        raise ValueError("hull must have at least two vertices")
+    if x <= hull[0][0]:
+        segment = (hull[0], hull[1])
+    elif x >= hull[-1][0]:
+        segment = (hull[-2], hull[-1])
+    else:
+        segment = None
+        for left, right in zip(hull, hull[1:]):
+            if left[0] <= x <= right[0]:
+                segment = (left, right)
+                break
+        assert segment is not None  # x is inside the hull's span
+    (x0, y0), (x1, y1) = segment
+    if x1 == x0:
+        return min(y0, y1)
+    t = (x - x0) / (x1 - x0)
+    return y0 + t * (y1 - y0)

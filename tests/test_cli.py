@@ -1,0 +1,59 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_audit_defaults(self):
+        args = build_parser().parse_args(["audit"])
+        assert args.servers is None
+        assert args.seed == 0
+
+    def test_locate_arguments(self):
+        args = build_parser().parse_args(
+            ["locate", "48.1", "11.5", "--algorithm", "cbg"])
+        assert args.lat == 48.1
+        assert args.algorithm == "cbg"
+
+    def test_bad_algorithm_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["locate", "0", "0", "--algorithm", "dowsing"])
+
+
+class TestCommands:
+    def test_audit_command(self, scenario, capsys):
+        assert main(["audit", "--servers", "15", "--ground-truth"]) == 0
+        out = capsys.readouterr().out
+        assert "audited 15 servers" in out
+        assert "verdicts" in out
+        assert "ground truth" in out
+
+    def test_locate_command(self, scenario, capsys):
+        assert main(["locate", "48.14", "11.58"]) == 0
+        out = capsys.readouterr().out
+        assert "countries:" in out
+        assert "DE" in out
+
+    def test_channels_command(self, scenario, capsys):
+        assert main(["channels"]) == 0
+        out = capsys.readouterr().out
+        assert "ICMP" in out
+        assert "port 80" in out
+
+    def test_eta_command(self, scenario, capsys):
+        assert main(["eta"]) == 0
+        assert "eta" in capsys.readouterr().out
+
+    def test_figure_command(self, scenario, capsys):
+        assert main(["figure", "fig02"]) == 0
+        assert "bestline" in capsys.readouterr().out
+
+    def test_figure_unknown(self, scenario, capsys):
+        assert main(["figure", "fig99"]) == 2

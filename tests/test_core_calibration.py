@@ -1,0 +1,171 @@
+"""Tests for the delay-distance calibration models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import CbgCalibration, OctantCalibration, SpotterCalibration
+from repro.core.calibration import BASELINE, SLOWLINE
+from repro.geodesy import (
+    BASELINE_SPEED_KM_PER_MS,
+    MAX_SURFACE_DISTANCE_KM,
+    SLOWLINE_SPEED_KM_PER_MS,
+)
+
+
+def synthetic_calibration(n=60, speed=120.0, intercept=2.0, noise=10.0, seed=0):
+    """(distance, delay) points above a ground-truth line."""
+    rng = np.random.default_rng(seed)
+    distances = rng.uniform(50, 15000, n)
+    delays = distances / speed + intercept + rng.exponential(noise, n)
+    return list(zip(distances, delays))
+
+
+class TestCbgCalibration:
+    def test_bestline_below_all_points(self):
+        points = synthetic_calibration()
+        model = CbgCalibration(points)
+        line = model.bestline
+        for distance, delay in points:
+            assert delay >= line.delay_at(distance) - 1e-6
+
+    def test_bestline_speed_bounded_by_baseline(self):
+        model = CbgCalibration(synthetic_calibration())
+        assert model.speed_km_per_ms <= BASELINE_SPEED_KM_PER_MS + 1e-9
+
+    def test_slowline_bounds_speed_from_below(self):
+        # Calibration data from a pathologically slow network.
+        points = synthetic_calibration(speed=30.0, intercept=0.5, noise=5.0)
+        unconstrained = CbgCalibration(points, apply_slowline=False)
+        constrained = CbgCalibration(points, apply_slowline=True)
+        assert unconstrained.speed_km_per_ms < SLOWLINE_SPEED_KM_PER_MS
+        assert constrained.speed_km_per_ms >= SLOWLINE_SPEED_KM_PER_MS - 1e-9
+
+    def test_max_distance_monotone_in_delay(self):
+        model = CbgCalibration(synthetic_calibration())
+        distances = [model.max_distance_km(t) for t in (1, 10, 50, 100, 200)]
+        assert distances == sorted(distances)
+
+    def test_max_distance_capped(self):
+        model = CbgCalibration(synthetic_calibration())
+        assert model.max_distance_km(10000.0) == MAX_SURFACE_DISTANCE_KM
+
+    def test_baseline_distance_is_pure_speed(self):
+        model = CbgCalibration(synthetic_calibration())
+        assert model.baseline_distance_km(10.0) == pytest.approx(2000.0)
+
+    def test_baseline_wider_than_bestline(self):
+        model = CbgCalibration(synthetic_calibration())
+        for delay in (5.0, 20.0, 80.0):
+            assert (model.baseline_distance_km(delay)
+                    >= model.max_distance_km(delay) - 1e-9)
+
+    def test_rejects_negative_data(self):
+        with pytest.raises(ValueError):
+            CbgCalibration([(-1.0, 5.0), (10.0, 5.0)])
+        with pytest.raises(ValueError):
+            CbgCalibration([(1.0, -5.0), (10.0, 5.0)])
+        with pytest.raises(ValueError):
+            CbgCalibration([(1.0, 5.0)])
+
+    def test_rejects_negative_query(self):
+        model = CbgCalibration(synthetic_calibration())
+        with pytest.raises(ValueError):
+            model.max_distance_km(-1.0)
+
+    @given(seed=st.integers(0, 500))
+    @settings(max_examples=40, deadline=None)
+    def test_bestline_invariants_across_datasets(self, seed):
+        rng = np.random.default_rng(seed)
+        speed = float(rng.uniform(60, 199))
+        points = synthetic_calibration(
+            n=40, speed=speed, intercept=float(rng.uniform(0, 5)),
+            noise=float(rng.uniform(1, 30)), seed=seed)
+        model = CbgCalibration(points, apply_slowline=True)
+        line = model.bestline
+        # Below all points, speed within [slowline, baseline], intercept >= 0.
+        for d, t in points:
+            assert t >= line.delay_at(d) - 1e-6
+        assert SLOWLINE_SPEED_KM_PER_MS - 1e-6 <= model.speed_km_per_ms
+        assert model.speed_km_per_ms <= BASELINE_SPEED_KM_PER_MS + 1e-6
+        assert line.intercept >= 0.0
+
+
+class TestLineHelpers:
+    def test_baseline_and_slowline_constants(self):
+        assert BASELINE.speed_km_per_ms == pytest.approx(200.0)
+        assert SLOWLINE.speed_km_per_ms == pytest.approx(84.5, abs=0.1)
+
+    def test_distance_at_never_negative(self):
+        assert BASELINE.distance_at(-5.0) == 0.0
+
+
+class TestOctantCalibration:
+    def test_min_never_exceeds_max(self):
+        model = OctantCalibration(synthetic_calibration())
+        for delay in np.linspace(0.5, 300, 40):
+            assert (model.min_distance_km(float(delay))
+                    <= model.max_distance_km(float(delay)) + 1e-9)
+
+    def test_max_distance_monotone(self):
+        model = OctantCalibration(synthetic_calibration())
+        values = [model.max_distance_km(float(t))
+                  for t in np.linspace(1, 300, 30)]
+        assert all(b >= a - 1e-6 for a, b in zip(values, values[1:]))
+
+    def test_cutoffs_ordered(self):
+        model = OctantCalibration(synthetic_calibration())
+        assert model.fast_cutoff_ms <= model.slow_cutoff_ms
+
+    def test_small_delay_small_min(self):
+        model = OctantCalibration(synthetic_calibration())
+        assert model.min_distance_km(0.1) == pytest.approx(0.0, abs=200.0)
+
+    def test_bad_quantiles_rejected(self):
+        points = synthetic_calibration()
+        with pytest.raises(ValueError):
+            OctantCalibration(points, fast_cutoff_quantile=0.9,
+                              slow_cutoff_quantile=0.5)
+
+    def test_negative_query_rejected(self):
+        model = OctantCalibration(synthetic_calibration())
+        with pytest.raises(ValueError):
+            model.max_distance_km(-1.0)
+        with pytest.raises(ValueError):
+            model.min_distance_km(-1.0)
+
+
+class TestSpotterCalibration:
+    def test_mu_monotone_in_delay(self):
+        model = SpotterCalibration(synthetic_calibration(n=500, seed=3))
+        mus = [model.mu_sigma(float(t))[0] for t in np.linspace(0, 250, 50)]
+        assert all(b >= a - 1e-6 for a, b in zip(mus, mus[1:]))
+
+    def test_sigma_floor(self):
+        model = SpotterCalibration(synthetic_calibration(n=500, seed=4))
+        for delay in (0.0, 10.0, 100.0):
+            assert model.mu_sigma(delay)[1] >= 50.0
+
+    def test_mu_bounded(self):
+        model = SpotterCalibration(synthetic_calibration(n=500, seed=5))
+        mu, _ = model.mu_sigma(100000.0)
+        assert mu <= MAX_SURFACE_DISTANCE_KM
+
+    def test_mu_tracks_ground_truth_roughly(self):
+        speed = 100.0
+        model = SpotterCalibration(
+            synthetic_calibration(n=2000, speed=speed, intercept=0.0,
+                                  noise=3.0, seed=6))
+        mu, sigma = model.mu_sigma(50.0)
+        # mu(50ms) should be near 50 * 100 km/ms, modulo the noise shift.
+        assert mu == pytest.approx(50.0 * speed, rel=0.4)
+
+    def test_requires_enough_bins(self):
+        with pytest.raises(ValueError):
+            SpotterCalibration([(100.0, 1.0), (200.0, 2.0), (300.0, 3.0)])
+
+    def test_negative_query_rejected(self):
+        model = SpotterCalibration(synthetic_calibration(n=500))
+        with pytest.raises(ValueError):
+            model.mu_sigma(-1.0)

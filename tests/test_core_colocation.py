@@ -1,0 +1,92 @@
+"""Tests for proxy co-location detection (§8.1 extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    LAN_RTT_THRESHOLD_MS,
+    detect_colocation,
+    proxy_pair_rtt_ms,
+)
+from repro.core.disambiguation import metadata_group_key
+
+
+@pytest.fixture(scope="module")
+def provider_slice(scenario):
+    return scenario.providers[0].servers[:40]
+
+
+class TestPairRtt:
+    def test_same_site_pair_is_lan_fast(self, scenario):
+        by_site = {}
+        for server in scenario.all_servers():
+            by_site.setdefault(metadata_group_key(server), []).append(server)
+        group = next(g for g in by_site.values() if len(g) >= 2)
+        rtt = proxy_pair_rtt_ms(scenario.network, group[0], group[1])
+        assert rtt < LAN_RTT_THRESHOLD_MS
+
+    def test_cross_continent_pair_is_slow(self, scenario):
+        servers = scenario.all_servers()
+        a = next(s for s in servers if scenario.true_country_of(s) == "DE")
+        b = next(s for s in servers if scenario.true_country_of(s) == "JP")
+        rtt = proxy_pair_rtt_ms(scenario.network, a, b)
+        assert rtt > 100.0
+
+    def test_deterministic_without_rng(self, scenario, provider_slice):
+        a, b = provider_slice[0], provider_slice[1]
+        assert (proxy_pair_rtt_ms(scenario.network, a, b)
+                == proxy_pair_rtt_ms(scenario.network, a, b))
+
+
+class TestDetection:
+    def test_groups_match_ground_truth_sites(self, scenario, provider_slice):
+        from repro.geodesy import haversine_km
+        groups = detect_colocation(scenario.network, provider_slice,
+                                   rng=np.random.default_rng(0))
+        assert groups, "a provider's fleet should show co-location"
+        # Groups are geographically tight; the 5 ms heuristic can merge
+        # *very* close metro areas (real Frankfurt-Cologne RTTs are ~4 ms)
+        # so same-city membership is asserted only in the aggregate.
+        single_city = 0
+        for group in groups:
+            hosts = [s.host for s in group.servers]
+            span = max(haversine_km(a.lat, a.lon, b.lat, b.lon)
+                       for i, a in enumerate(hosts) for b in hosts[i + 1:])
+            assert span < 500.0
+            if len({s.datacenter_city_id for s in group.servers}) == 1:
+                single_city += 1
+        assert single_city >= 0.7 * len(groups)
+
+    def test_finds_conflicting_claims(self, scenario, provider_slice):
+        """The paper's pilot finding: co-located proxies claiming
+        separate countries."""
+        groups = detect_colocation(scenario.network, provider_slice,
+                                   rng=np.random.default_rng(1))
+        assert any(g.claims_conflict for g in groups)
+
+    def test_groups_sorted_by_size(self, scenario, provider_slice):
+        groups = detect_colocation(scenario.network, provider_slice,
+                                   rng=np.random.default_rng(2))
+        sizes = [g.size for g in groups]
+        assert sizes == sorted(sizes, reverse=True)
+        assert all(g.size >= 2 for g in groups)
+
+    def test_internal_rtt_reported(self, scenario, provider_slice):
+        groups = detect_colocation(scenario.network, provider_slice,
+                                   rng=np.random.default_rng(3))
+        for group in groups:
+            assert group.max_internal_rtt_ms > 0
+
+    def test_threshold_validated(self, scenario, provider_slice):
+        with pytest.raises(ValueError):
+            detect_colocation(scenario.network, provider_slice,
+                              threshold_ms=0.0)
+
+    def test_tiny_threshold_finds_nothing_much(self, scenario, provider_slice):
+        strict = detect_colocation(scenario.network, provider_slice,
+                                   threshold_ms=0.01,
+                                   rng=np.random.default_rng(4))
+        normal = detect_colocation(scenario.network, provider_slice,
+                                   rng=np.random.default_rng(4))
+        assert (sum(g.size for g in strict)
+                <= sum(g.size for g in normal))

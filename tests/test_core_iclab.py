@@ -1,0 +1,82 @@
+"""Tests for the ICLab speed-limit checker."""
+
+import pytest
+
+from repro.core import IclabChecker, RttObservation
+from repro.geodesy import haversine_km
+
+
+@pytest.fixture(scope="module")
+def checker(scenario):
+    return IclabChecker(scenario.worldmap)
+
+
+def obs(name, lat, lon, one_way_ms):
+    return RttObservation(name, lat, lon, one_way_ms)
+
+
+class TestChecker:
+    def test_accepts_claim_near_fast_landmark(self, scenario, checker):
+        # A landmark inside Germany with a tiny delay cannot disprove DE.
+        verdict = checker.check("DE", [obs("berlin", 52.5, 13.4, 2.0)])
+        assert verdict.accepted
+        assert verdict.violations == ()
+
+    def test_disproves_impossible_claim(self, scenario, checker):
+        # 2 ms one-way from Berlin cannot reach North Korea (~8000 km).
+        verdict = checker.check("KP", [obs("berlin", 52.5, 13.4, 2.0)])
+        assert not verdict.accepted
+        assert "berlin" in verdict.violations
+        assert verdict.max_required_speed > checker.speed_limit
+
+    def test_far_landmark_with_large_delay_uninformative(self, scenario,
+                                                         checker):
+        # 200 ms one-way allows ~30000 km at the limit: accepts anything.
+        verdict = checker.check("KP", [obs("berlin", 52.5, 13.4, 200.0)])
+        assert verdict.accepted
+
+    def test_required_speed_zero_inside_country(self, scenario, checker):
+        observation = obs("berlin", 52.5, 13.4, 5.0)
+        assert checker.required_speed(observation, "DE") == 0.0
+
+    def test_required_speed_matches_geometry(self, scenario, checker):
+        observation = obs("berlin", 52.5, 13.4, 10.0)
+        speed = checker.required_speed(observation, "JP")
+        region = scenario.worldmap.country_region("JP")
+        distance = region.distance_to_point_km(52.5, 13.4)
+        assert speed == pytest.approx(distance / 10.0)
+
+    def test_zero_delay_infinite_speed(self, scenario, checker):
+        observation = obs("berlin", 52.5, 13.4, 0.0)
+        assert checker.required_speed(observation, "JP") == float("inf")
+
+    def test_multiple_landmarks_any_violation_rejects(self, scenario, checker):
+        observations = [
+            obs("berlin", 52.5, 13.4, 200.0),   # uninformative
+            obs("tokyo", 35.7, 139.7, 1.0),     # disproves Europe
+        ]
+        verdict = checker.check("DE", observations)
+        assert not verdict.accepted
+        assert verdict.violations == ("tokyo",)
+
+    def test_empty_observations_rejected(self, checker):
+        with pytest.raises(ValueError):
+            checker.check("DE", [])
+
+    def test_bad_speed_limit_rejected(self, scenario):
+        with pytest.raises(ValueError):
+            IclabChecker(scenario.worldmap, speed_limit_km_per_ms=0.0)
+
+    def test_stricter_limit_rejects_more(self, scenario):
+        lenient = IclabChecker(scenario.worldmap, speed_limit_km_per_ms=300.0)
+        strict = IclabChecker(scenario.worldmap, speed_limit_km_per_ms=50.0)
+        observation = obs("berlin", 52.5, 13.4, 10.0)
+        # Distance Berlin->ES is ~1400-1900 km: requires ~150-190 km/ms.
+        assert lenient.check("ES", [observation]).accepted
+        assert not strict.check("ES", [observation]).accepted
+
+    def test_distance_cache_consistency(self, scenario, checker):
+        observation = obs("x", 48.0, 11.0, 7.0)
+        first = checker.required_speed(observation, "IT")
+        second = checker.required_speed(observation, "IT")
+        assert first == second

@@ -1,0 +1,55 @@
+"""Tests for the observation abstraction."""
+
+import pytest
+
+from repro.core import RttObservation, merge_min, require_observations
+
+
+class TestRttObservation:
+    def test_validates_coordinates(self):
+        with pytest.raises(ValueError):
+            RttObservation("lm", 95.0, 0.0, 1.0)
+
+    def test_rejects_negative_delay(self):
+        with pytest.raises(ValueError):
+            RttObservation("lm", 0.0, 0.0, -0.5)
+
+    def test_frozen(self):
+        obs = RttObservation("lm", 0.0, 0.0, 1.0)
+        with pytest.raises(AttributeError):
+            obs.one_way_ms = 2.0
+
+
+class TestMergeMin:
+    def test_keeps_minimum_per_landmark(self):
+        merged = merge_min([
+            RttObservation("a", 0.0, 0.0, 5.0),
+            RttObservation("a", 0.0, 0.0, 3.0),
+            RttObservation("a", 0.0, 0.0, 7.0),
+            RttObservation("b", 1.0, 1.0, 2.0),
+        ])
+        by_name = {o.landmark_name: o.one_way_ms for o in merged}
+        assert by_name == {"a": 3.0, "b": 2.0}
+
+    def test_empty_input(self):
+        assert merge_min([]) == []
+
+    def test_singletons_pass_through(self):
+        obs = [RttObservation("a", 0.0, 0.0, 1.0)]
+        assert merge_min(obs) == obs
+
+
+class TestRequireObservations:
+    def test_accepts_enough(self):
+        obs = [RttObservation(str(i), 0.0, 0.0, 1.0) for i in range(3)]
+        require_observations(obs)
+
+    def test_rejects_too_few(self):
+        obs = [RttObservation("a", 0.0, 0.0, 1.0)]
+        with pytest.raises(ValueError):
+            require_observations(obs)
+
+    def test_custom_minimum(self):
+        obs = [RttObservation(str(i), 0.0, 0.0, 1.0) for i in range(4)]
+        with pytest.raises(ValueError):
+            require_observations(obs, minimum=5)

@@ -1,0 +1,97 @@
+"""Tests for the proxy RTT adaptation (eta and the client-leg subtraction)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DEFAULT_ETA,
+    ProxyMeasurer,
+    collect_eta_data,
+    estimate_eta,
+)
+
+
+class TestEtaEstimation:
+    def test_eta_near_half(self, scenario, rng):
+        estimate = estimate_eta(scenario.network, scenario.client,
+                                scenario.all_servers(), rng)
+        assert estimate.eta == pytest.approx(0.5, abs=0.05)
+        assert estimate.r_squared > 0.99
+        assert estimate.fit is not None
+
+    def test_only_pingable_proxies_used(self, scenario, rng):
+        pairs = collect_eta_data(scenario.network, scenario.client,
+                                 scenario.all_servers(), rng)
+        pingable = sum(1 for s in scenario.all_servers() if s.responds_to_ping)
+        assert len(pairs) == pingable
+
+    def test_indirect_exceeds_direct(self, scenario, rng):
+        pairs = collect_eta_data(scenario.network, scenario.client,
+                                 scenario.all_servers(), rng)
+        for indirect, direct in pairs:
+            assert indirect > direct
+
+    def test_fallback_to_default_eta(self, scenario, rng):
+        unpingable = [s for s in scenario.all_servers()
+                      if not s.responds_to_ping][:5]
+        estimate = estimate_eta(scenario.network, scenario.client,
+                                unpingable, rng)
+        assert estimate.eta == DEFAULT_ETA
+        assert estimate.n_proxies == 0
+
+
+class TestProxyMeasurer:
+    def test_eta_validated(self, scenario):
+        server = scenario.all_servers()[0]
+        with pytest.raises(ValueError):
+            ProxyMeasurer(scenario.network, scenario.client, server, eta=1.5)
+
+    def test_observations_have_positive_one_way(self, scenario):
+        server = scenario.all_servers()[0]
+        measurer = ProxyMeasurer(scenario.network, scenario.client, server,
+                                 seed=1)
+        observations = measurer.observe(scenario.atlas.anchors[:10])
+        assert len(observations) == 10
+        for obs in observations:
+            assert obs.one_way_ms >= measurer.ONE_WAY_FLOOR_MS
+
+    def test_adapted_delay_tracks_proxy_leg(self, scenario):
+        """After subtraction the one-way delay reflects the proxy→landmark
+        path, not the client→proxy→landmark sum."""
+        server = scenario.all_servers()[0]
+        measurer = ProxyMeasurer(scenario.network, scenario.client, server,
+                                 seed=2)
+        landmark = scenario.atlas.anchors[0]
+        observations = measurer.observe([landmark] * 5)
+        best = min(o.one_way_ms for o in observations)
+        true_leg = scenario.network.base_one_way_ms(server.host, landmark.host)
+        assert best == pytest.approx(true_leg, rel=0.5, abs=15.0)
+        # And crucially it is much less than the unadapted sum.
+        unadapted = (scenario.network.base_one_way_ms(scenario.client,
+                                                      server.host) + true_leg)
+        if unadapted > 2 * true_leg * 1.2:
+            assert best < unadapted * 0.9
+
+    def test_client_leg_close_to_true_rtt(self, scenario):
+        server = scenario.all_servers()[0]
+        measurer = ProxyMeasurer(scenario.network, scenario.client, server,
+                                 seed=3)
+        estimated = measurer.client_leg_ms()
+        true_rtt = scenario.network.base_rtt_ms(scenario.client, server.host)
+        assert estimated == pytest.approx(true_rtt, rel=0.25)
+
+    def test_subtraction_biased_safe(self, scenario):
+        """The safety factor bounds over-subtraction — the dangerous
+        direction.  VPN-software overhead inside the self-ping makes small
+        (~5%) overshoots unavoidable on short client→proxy paths; gross
+        (>10%) overshoots must be rare."""
+        gross_overshoots = 0
+        for server in scenario.all_servers()[:30]:
+            measurer = ProxyMeasurer(scenario.network, scenario.client,
+                                     server, seed=server.host.host_id)
+            estimated = measurer.client_leg_ms()
+            true_rtt = scenario.network.base_rtt_ms(scenario.client,
+                                                    server.host)
+            if estimated > true_rtt * 1.10:
+                gross_overshoots += 1
+        assert gross_overshoots <= 2

@@ -1,0 +1,122 @@
+"""Tests for the two-phase measurement procedure."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CBGPlusPlus,
+    RttObservation,
+    TwoPhaseDriver,
+    TwoPhaseSelector,
+)
+from repro.netsim import CliTool
+
+
+@pytest.fixture(scope="module")
+def selector(scenario):
+    return TwoPhaseSelector(scenario.atlas, seed=0)
+
+
+class TestSelector:
+    def test_phase1_covers_continents(self, scenario, selector):
+        landmarks = selector.phase1_landmarks()
+        continents = {selector.continent_of_landmark(lm.name)
+                      for lm in landmarks}
+        # Every continent with anchors contributes.
+        anchored = {scenario.topology.city(a.host.city_id).continent
+                    for a in scenario.atlas.anchors}
+        assert continents == anchored
+
+    def test_phase1_at_most_three_per_continent(self, scenario, selector):
+        counts = {}
+        for lm in selector.phase1_landmarks():
+            c = selector.continent_of_landmark(lm.name)
+            counts[c] = counts.get(c, 0) + 1
+        assert all(v <= 3 for v in counts.values())
+
+    def test_phase1_fixed_across_calls(self, selector):
+        first = [lm.name for lm in selector.phase1_landmarks()]
+        second = [lm.name for lm in selector.phase1_landmarks()]
+        assert first == second
+
+    def test_deduce_continent_picks_fastest(self, selector):
+        landmarks = selector.phase1_landmarks()
+        observations = [
+            RttObservation(lm.name, lm.lat, lm.lon, 100.0)
+            for lm in landmarks]
+        fast = landmarks[5]
+        observations[5] = RttObservation(fast.name, fast.lat, fast.lon, 1.0)
+        assert (selector.deduce_continent(observations)
+                == selector.continent_of_landmark(fast.name))
+
+    def test_deduce_requires_observations(self, selector):
+        with pytest.raises(ValueError):
+            selector.deduce_continent([])
+
+    def test_phase2_size_and_continent(self, scenario, selector):
+        rng = np.random.default_rng(0)
+        landmarks = selector.phase2_landmarks("EU", rng)
+        assert len(landmarks) == selector.phase2_size
+        for lm in landmarks:
+            assert selector.continent_of_landmark(lm.name) == "EU"
+
+    def test_phase2_random_across_calls(self, selector):
+        rng = np.random.default_rng(1)
+        first = {lm.name for lm in selector.phase2_landmarks("EU", rng)}
+        second = {lm.name for lm in selector.phase2_landmarks("EU", rng)}
+        assert first != second  # random selection spreads load
+
+    def test_phase2_small_continent_returns_all(self, scenario, selector):
+        pool = scenario.atlas.landmarks_on_continent("AU")
+        if len(pool) > selector.phase2_size:
+            pytest.skip("AU pool larger than phase2 size in this scenario")
+        landmarks = selector.phase2_landmarks("AU")
+        assert len(landmarks) == len(pool)
+
+    def test_constructor_validation(self, scenario):
+        with pytest.raises(ValueError):
+            TwoPhaseSelector(scenario.atlas, anchors_per_continent=0)
+        with pytest.raises(ValueError):
+            TwoPhaseSelector(scenario.atlas, phase2_size=2)
+
+
+class TestDriver:
+    def test_locates_direct_target(self, scenario, selector):
+        target = scenario.factory.create(48.2, 16.4, name="vienna-target")
+        tool = CliTool(scenario.network, seed=9)
+        rng = np.random.default_rng(9)
+
+        def measure(landmarks):
+            observations = []
+            for lm in landmarks:
+                sample = tool.measure(target, lm, rng)
+                observations.append(RttObservation(
+                    sample.landmark_name, lm.lat, lm.lon, sample.rtt_ms / 2))
+            return observations
+
+        algorithm = CBGPlusPlus(scenario.calibrations, scenario.worldmap)
+        result = TwoPhaseDriver(selector, algorithm).locate(measure, rng)
+        assert result.deduced_continent == "EU"
+        assert not result.prediction.failed
+        assert result.prediction.miss_distance_km(48.2, 16.4) < 500.0
+        assert len(result.phase2_landmarks) == selector.phase2_size
+
+    def test_phase1_observations_reused_on_same_continent(self, scenario,
+                                                          selector):
+        target = scenario.factory.create(50.0, 9.0, name="reuse-target")
+        tool = CliTool(scenario.network, seed=10)
+        rng = np.random.default_rng(10)
+
+        def measure(landmarks):
+            return [RttObservation(
+                lm.name, lm.lat, lm.lon,
+                tool.measure(target, lm, rng).rtt_ms / 2)
+                for lm in landmarks]
+
+        algorithm = CBGPlusPlus(scenario.calibrations, scenario.worldmap)
+        result = TwoPhaseDriver(selector, algorithm).locate(measure, rng)
+        phase1_eu = [o.landmark_name for o in result.phase1_observations
+                     if selector.continent_of_landmark(o.landmark_name) == "EU"]
+        used_pool = set(result.prediction.used_landmarks
+                        + result.prediction.discarded_landmarks)
+        assert set(phase1_eu) <= used_pool

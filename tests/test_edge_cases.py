@@ -1,0 +1,106 @@
+"""Edge-case coverage across module boundaries.
+
+Exercises the less-travelled branches: degenerate experiment inputs,
+antimeridian-straddling rendering, seed-parameterised CLI worlds, and
+refinement corner cases.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import CBGPlusPlus, IterativeRefiner, Prediction
+from repro.experiments import fig20_datacenter_error
+from repro.geo import Grid, Region
+from repro.geodesy import SphericalDisk
+from repro.report import region_map
+
+
+class TestRenderingEdges:
+    def test_antimeridian_region_renders(self, scenario):
+        region = scenario.worldmap.clip_to_plausible(
+            Region.from_disk(scenario.grid, SphericalDisk(-40.0, 178.0, 900.0)))
+        if region.is_empty:
+            pytest.skip("no land cells near this antimeridian disk")
+        rendered = region_map(scenario.worldmap, region)
+        assert "#" in rendered
+
+    def test_polar_region_clipped_cleanly(self, scenario):
+        region = scenario.worldmap.clip_to_plausible(
+            Region.from_disk(scenario.grid, SphericalDisk(70.0, 25.0, 1200.0)))
+        rendered = region_map(scenario.worldmap, region, zoom=True)
+        assert rendered.count("\n") >= 5
+
+
+class TestRefinementEdges:
+    def test_empty_initial_prediction_short_circuits(self, scenario):
+        algorithm = CBGPlusPlus(scenario.calibrations, scenario.worldmap)
+        refiner = IterativeRefiner(scenario.atlas, algorithm)
+        empty = Prediction("cbg++", Region.empty(scenario.grid))
+
+        def must_not_measure(landmarks):
+            raise AssertionError("refiner measured despite empty region")
+
+        result = refiner.refine(empty, [], must_not_measure)
+        assert result.prediction.failed
+        assert result.rounds == []
+        assert result.total_measurements == 0
+
+    def test_exhausted_landmark_pool_stops(self, scenario):
+        algorithm = CBGPlusPlus(scenario.calibrations, scenario.worldmap)
+        refiner = IterativeRefiner(scenario.atlas, algorithm,
+                                   batch_size=10_000, max_rounds=3,
+                                   min_shrinkage=0.0)
+        target = scenario.factory.create(48.8, 2.3, name="edge-refine")
+        from repro.core import RttObservation
+        from repro.netsim import CliTool
+        tool = CliTool(scenario.network, seed=8)
+        rng = np.random.default_rng(8)
+
+        def measure(landmarks):
+            return [RttObservation(
+                lm.name, lm.lat, lm.lon,
+                tool.measure(target, lm, rng).rtt_ms / 2)
+                for lm in landmarks]
+
+        initial_obs = measure(scenario.atlas.anchors[:10])
+        initial = algorithm.predict(initial_obs)
+        result = refiner.refine(initial, initial_obs, measure)
+        # One giant batch consumes the pool; a second round has nothing.
+        assert len(result.rounds) <= 2
+
+
+class TestExperimentEdges:
+    def test_fig20_raises_without_groups(self, scenario):
+        with pytest.raises(ValueError):
+            fig20_datacenter_error.run(scenario, min_group_size=10_000,
+                                       max_servers=150)
+
+    def test_assessment_unlocatable_category(self, scenario):
+        from repro.core import assess_claim
+        assessment = assess_claim(Region.empty(scenario.grid), "DE",
+                                  scenario.worldmap)
+        assert assessment.category() == "unlocatable"
+        assert not assessment.is_false
+
+
+class TestCliSeededWorld:
+    def test_nonzero_seed_builds_fresh_world(self, capsys):
+        from repro.cli import main
+        assert main(["--seed", "3", "figure", "fig14"]) == 0
+        out = capsys.readouterr().out
+        assert "provider A" in out
+
+
+class TestGridExtremes:
+    def test_coarsest_supported_grid_works_end_to_end(self):
+        grid = Grid(resolution_deg=10.0)
+        region = Region.from_disk(grid, SphericalDisk(0.0, 0.0, 3000.0))
+        assert not region.is_empty
+        assert region.area_km2() > 0
+        assert region.contains(0.0, 0.0)
+
+    def test_finest_reasonable_grid_area_precision(self):
+        grid = Grid(resolution_deg=0.5)
+        disk = SphericalDisk(45.0, 7.0, 800.0)
+        region = Region.from_disk(grid, disk)
+        assert region.area_km2() == pytest.approx(disk.area_km2(), rel=0.03)

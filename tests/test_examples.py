@@ -1,0 +1,63 @@
+"""Smoke tests: the example scripts must run and tell their stories.
+
+Each example's ``main()`` is invoked in-process (they all share the
+memoised default scenario, so this is fast) and its narration is checked
+for the load-bearing lines.  The two heaviest examples are exercised via
+their underlying experiment calls elsewhere and only imported here.
+"""
+
+import importlib
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _examples_on_path():
+    sys.path.insert(0, str(EXAMPLES_DIR))
+    yield
+    sys.path.remove(str(EXAMPLES_DIR))
+
+
+def _run(name: str, capsys, *args) -> str:
+    module = importlib.import_module(name)
+    module.main(*args)
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, scenario, capsys):
+        out = _run("quickstart", capsys)
+        assert "CBG++ prediction" in out
+        assert "covers target?   True" in out
+
+    def test_verify_claim(self, scenario, capsys):
+        out = _run("verify_claim", capsys)
+        assert "verdict: FALSE" in out
+        assert "correctly disproved" in out
+
+    def test_adversarial_proxy(self, scenario, capsys):
+        out = _run("adversarial_proxy", capsys)
+        assert "forge-synack" in out
+        assert "still contains the true location" in out
+
+    def test_web_demo(self, scenario, capsys):
+        out = _run("web_demo", capsys)
+        assert "You appear to be in:" in out
+        assert "#" in out          # the map rendered a region
+
+    def test_longitudinal_audit(self, scenario, capsys):
+        out = _run("longitudinal_audit", capsys)
+        assert "Diffing the archives" in out
+        assert "unchanged verdicts" in out
+
+    def test_vpn_audit_small_slice(self, scenario, capsys):
+        out = _run("vpn_audit", capsys, 40)
+        assert "Verdicts after" in out
+        assert "Per-provider agreement" in out
+
+    def test_heavy_examples_importable(self):
+        importlib.import_module("algorithm_comparison")

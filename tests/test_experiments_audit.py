@@ -1,0 +1,93 @@
+"""Tests for the audit pipeline and scenario plumbing."""
+
+import pytest
+
+from repro.core import Verdict
+from repro.experiments import cached_audit, default_scenario, run_audit
+
+
+class TestScenario:
+    def test_default_scenario_memoised(self):
+        assert default_scenario() is default_scenario()
+
+    def test_components_wired(self, scenario):
+        assert scenario.client.name == "client-frankfurt"
+        assert scenario.worldmap.grid is scenario.grid
+        assert scenario.calibrations.atlas is scenario.atlas
+        assert len(scenario.providers) == 7
+
+    def test_true_country_of(self, scenario):
+        server = scenario.all_servers()[0]
+        truth = scenario.true_country_of(server)
+        assert truth in scenario.registry
+
+    def test_all_servers_ordering(self, scenario):
+        servers = scenario.all_servers()
+        providers_seen = [s.provider for s in servers]
+        # Provider blocks are contiguous (A's servers, then B's, ...).
+        assert providers_seen == sorted(providers_seen, key="ABCDEFG".index)
+
+
+class TestRunAudit:
+    def test_records_one_per_server(self, scenario, audit):
+        assert len(audit.records) == 150
+
+    def test_eta_estimated(self, audit):
+        assert 0.4 <= audit.eta.eta <= 0.6
+
+    def test_initial_verdicts_preserved(self, audit):
+        for record in audit.records:
+            assert record.initial_verdict is not None
+            if record.assessment.resolution_method is None:
+                assert record.assessment.verdict == record.initial_verdict
+
+    def test_observations_retained(self, audit):
+        for record in audit.records[:10]:
+            assert record.observations
+            assert record.landmark_names
+
+    def test_verdict_counts_sum(self, audit):
+        counts = audit.verdict_counts()
+        assert sum(counts.values()) == len(audit.records)
+
+    def test_category_counts_sum(self, audit):
+        assert sum(audit.category_counts().values()) == len(audit.records)
+
+    def test_by_provider_partition(self, audit):
+        grouped = audit.by_provider()
+        assert sum(len(v) for v in grouped.values()) == len(audit.records)
+
+    def test_agreement_rate_generous_geq_strict(self, audit):
+        assert (audit.agreement_rate(generous=True)
+                >= audit.agreement_rate(generous=False))
+
+    def test_agreement_rate_unknown_provider(self, audit):
+        with pytest.raises(ValueError):
+            audit.agreement_rate("Z")
+
+    def test_ground_truth_mostly_sound(self, audit):
+        truth = audit.ground_truth_accuracy()
+        assert truth["false_precision"] >= 0.9
+        assert truth["credible_precision"] >= 0.85
+
+    def test_disambiguation_can_be_disabled(self, scenario):
+        result = run_audit(scenario, max_servers=20, seed=5,
+                           disambiguate=False)
+        assert result.reclassified["total"] == 0
+        for record in result.records:
+            assert record.assessment.resolution_method is None
+
+    def test_cached_audit_identity(self, scenario):
+        a = cached_audit(scenario, max_servers=150, seed=0)
+        b = cached_audit(scenario, max_servers=150, seed=0)
+        assert a is b
+
+    def test_false_claims_exist_and_dominate_tier3(self, scenario, audit):
+        tier3 = {c.iso2 for c in scenario.registry.by_hosting_tier(3)}
+        tier3_records = [r for r in audit.records
+                         if r.server.claimed_country in tier3]
+        if not tier3_records:
+            pytest.skip("no tier-3 claims in the audited slice")
+        false_rate = (sum(1 for r in tier3_records if r.assessment.is_false)
+                      / len(tier3_records))
+        assert false_rate > 0.5

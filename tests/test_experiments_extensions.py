@@ -1,0 +1,107 @@
+"""Tests for the §8/§8.1 extension experiments."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import ext_adversary, ext_testbench
+from repro.netsim import NavigationTimingWebTool, WebTool
+
+
+class TestAdversaryExperiment:
+    @pytest.fixture(scope="class")
+    def experiment(self, scenario):
+        return ext_adversary.run(scenario, seed=0)
+
+    def test_all_cells_present(self, experiment):
+        assert len(experiment.outcomes) == 4
+        for strategy in ("add-delay", "forge-synack"):
+            for algorithm in ("cbg++", "spotter"):
+                experiment.outcome(strategy, algorithm)
+
+    def test_delay_cannot_evict_truth_from_cbgpp(self, experiment):
+        """Delay only inflates distances: CBG-family disks only grow."""
+        outcome = experiment.outcome("add-delay", "cbg++")
+        assert outcome.covers_truth
+
+    def test_delay_displaces_spotter(self, experiment):
+        """Minimum-speed models are susceptible to added delay."""
+        outcome = experiment.outcome("add-delay", "spotter")
+        assert not outcome.covers_truth
+        assert outcome.displaced
+
+    def test_forgery_defeats_everyone(self, experiment):
+        for algorithm in ("cbg++", "spotter"):
+            outcome = experiment.outcome("forge-synack", algorithm)
+            assert not outcome.covers_truth
+            assert outcome.miss_pretend_km < outcome.miss_truth_km
+
+    def test_format_table(self, experiment):
+        text = ext_adversary.format_table(experiment)
+        assert "add-delay" in text and "forge-synack" in text
+
+
+class TestTestbenchExperiment:
+    @pytest.fixture(scope="class")
+    def result(self, scenario):
+        return ext_testbench.run(scenario, n_servers=6, seed=0)
+
+    def test_rows_complete(self, result):
+        assert len(result.rows) == 6
+        for row in result.rows:
+            assert row.direct_area_km2 >= 0
+            assert row.indirect_area_km2 >= 0
+
+    def test_eta_fitted(self, result):
+        assert 0.4 <= result.eta <= 0.6
+
+    def test_errors_are_local_not_continental(self, result):
+        """Direct/indirect disagreement stays at border scale (~100s of
+        km), never continent scale."""
+        assert result.worst_miss_km(indirect=True) < 1500.0
+        assert result.worst_miss_km(indirect=False) < 1500.0
+        assert result.median_centroid_offset_km() < 500.0
+
+    def test_indirection_does_not_shrink_regions(self, result):
+        """The tunnel's upward bias should never make regions smaller on
+        the median."""
+        assert result.median_area_inflation() >= 0.8
+
+    def test_format_table(self, result):
+        assert "direct" in ext_testbench.format_table(result)
+
+
+class TestNavigationTimingTool:
+    def test_supported_landmark_measures_one_rtt(self, scenario, rng):
+        client = scenario.factory.create(50.0, 8.6, name="navtiming-client")
+        landmark = next(lm for lm in scenario.atlas.anchors
+                        if lm.host.listens_on_port_80)
+        tool = NavigationTimingWebTool(
+            scenario.network, supporting_landmarks=[landmark.name])
+        sample = tool.measure(client, landmark, rng)
+        assert sample.n_round_trips == 1
+        assert sample.tool == "web-navtiming"
+
+    def test_unsupported_falls_back_to_classic(self, scenario, rng):
+        client = scenario.factory.create(50.0, 8.6, name="navtiming-client2")
+        landmark = next(lm for lm in scenario.atlas.anchors
+                        if lm.host.listens_on_port_80)
+        tool = NavigationTimingWebTool(scenario.network)  # nobody supports it
+        sample = tool.measure(client, landmark, rng)
+        assert sample.n_round_trips == 2  # classic two-round-trip behaviour
+
+    def test_api_reduces_noise(self, scenario):
+        """Per-measurement overhead via the API is below the classic
+        browser path's."""
+        client = scenario.factory.create(50.0, 8.6, name="navtiming-client3",
+                                         os="windows")
+        landmark = next(lm for lm in scenario.atlas.anchors
+                        if not lm.host.listens_on_port_80)  # 1 RTT both ways
+        api_tool = NavigationTimingWebTool(
+            scenario.network, supporting_landmarks=[landmark.name])
+        classic = WebTool(scenario.network)
+        rng = np.random.default_rng(0)
+        api_best = min(api_tool.measure(client, landmark, rng).rtt_ms
+                       for _ in range(15))
+        classic_best = min(classic.measure(client, landmark, rng).rtt_ms
+                           for _ in range(15))
+        assert api_best <= classic_best

@@ -1,0 +1,165 @@
+"""Smoke + shape tests for every figure experiment module.
+
+The heavier shape assertions live in benchmarks/; these tests check that
+each experiment runs on the shared scenario and produces self-consistent
+output objects (the benchmark layer then checks paper fidelity).
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    fig02_calibration,
+    fig04_tools,
+    fig09_algorithms,
+    fig10_underestimation,
+    fig11_effectiveness,
+    fig13_eta,
+    fig14_claims,
+    fig16_disambiguation,
+    fig17_assessment,
+    fig18_honesty,
+    fig20_datacenter_error,
+    fig21_databases,
+    fig22_confusion,
+)
+
+
+class TestFig02:
+    def test_runs_and_formats(self, scenario):
+        figure = fig02_calibration.run(scenario)
+        text = fig02_calibration.format_table(figure)
+        assert "bestline" in text
+        assert figure.n_points == len(scenario.atlas.anchors) - 1
+
+    def test_bad_index_rejected(self, scenario):
+        with pytest.raises(IndexError):
+            fig02_calibration.run(scenario, landmark_index=10_000)
+
+
+class TestFig04:
+    def test_linux_result_structure(self, scenario):
+        result = fig04_tools.run(scenario, os="linux")
+        assert result.one_rtt_fit.slope > 0
+        assert result.two_rtt_fit.slope > result.one_rtt_fit.slope
+        assert "slope ratio" in fig04_tools.format_table(result)
+
+    def test_unknown_os_rejected(self, scenario):
+        with pytest.raises(ValueError):
+            fig04_tools.run(scenario, os="plan9")
+
+
+class TestFig09:
+    def test_outcomes_complete(self, scenario):
+        comparison = fig09_algorithms.run(scenario, hosts=scenario.crowd[:4])
+        assert len(comparison.outcomes) == 4 * 4
+        assert set(comparison.algorithms()) == {
+            "cbg", "quasi-octant", "spotter", "hybrid"}
+        text = fig09_algorithms.format_table(comparison)
+        assert "coverage" in text
+
+    def test_ecdf_accessors(self, scenario):
+        comparison = fig09_algorithms.run(scenario, hosts=scenario.crowd[:4])
+        for name in comparison.algorithms():
+            assert 0.0 <= comparison.coverage(name) <= 1.0
+            assert comparison.miss_ecdf(name).n == 4
+
+
+class TestFig10:
+    def test_ratio_samples(self, scenario):
+        result = fig10_underestimation.run(scenario, max_anchors=20)
+        assert len(result.samples) == 20 * 19
+        assert 0.0 <= result.bestline_underestimate_rate() <= 1.0
+        percentiles = dict(result.ratio_percentiles("baseline"))
+        assert percentiles[0.5] >= 1.0
+
+
+class TestFig11:
+    def test_samples_per_host_anchor_pair(self, scenario):
+        hosts = scenario.crowd[:3]
+        result = fig11_effectiveness.run(scenario, hosts=hosts)
+        assert len(result.samples) == 3 * len(scenario.atlas.anchors)
+        assert 0.0 < result.effective_rate() < 1.0
+
+    def test_rejects_empty(self, scenario):
+        with pytest.raises(ValueError):
+            fig11_effectiveness.run(scenario, hosts=[])
+
+
+class TestFig13:
+    def test_eta_figure(self, scenario):
+        figure = fig13_eta.run(scenario)
+        assert figure.n_proxies >= 3
+        assert 0.4 <= figure.eta <= 0.6
+        residuals = figure.residual_quantiles()
+        assert residuals[0][1] <= residuals[-1][1]
+
+
+class TestFig14:
+    def test_landscape(self, scenario):
+        landscape = fig14_claims.run(scenario)
+        assert set(landscape.studied_counts) == set("ABCDEFG")
+        for rank in landscape.studied_ranks.values():
+            assert rank >= 1
+
+
+class TestFig16And17:
+    def test_disambiguation_summary(self, scenario, audit):
+        summary = fig16_disambiguation.summarize(audit)
+        assert summary.n_records == len(audit.records)
+        assert summary.total_resolved == audit.reclassified["total"]
+
+    def test_assessment_figure(self, scenario, audit):
+        figure = fig17_assessment.summarize(audit, scenario)
+        assert figure.n_proxies == len(audit.records)
+        assert sum(figure.verdicts_final.values()) == figure.n_proxies
+        assert figure.alleged_top
+        assert "Figure 17" in fig17_assessment.format_table(figure)
+
+    def test_probable_country_resolution_order(self, scenario, audit):
+        for record in audit.records:
+            guess = fig17_assessment.probable_country(record, scenario)
+            if record.assessment.resolved_country:
+                assert guess == record.assessment.resolved_country
+
+
+class TestFig18:
+    def test_matrix_shape(self, audit):
+        matrix = fig18_honesty.summarize(audit, n_countries=10)
+        assert len(matrix.countries) <= 10
+        for rate in matrix.honesty.values():
+            assert 0.0 <= rate <= 1.0
+
+    def test_all_countries_variant_larger(self, audit):
+        top = fig18_honesty.summarize(audit, n_countries=10)
+        full = fig18_honesty.summarize(audit, all_countries=True)
+        assert len(full.countries) >= len(top.countries)
+
+
+class TestFig20:
+    def test_group_spread(self, scenario, audit):
+        from repro.core.disambiguation import group_by_metadata
+        groups = group_by_metadata(audit.records)
+        key, group = max(groups.items(), key=lambda item: len(item[1]))
+        spread = fig20_datacenter_error.analyze_group(scenario, key, group)
+        assert spread.n_hosts == len(group)
+        assert len(spread.areas_km2) == len(group)
+
+
+class TestFig21:
+    def test_rows_complete(self, scenario, audit):
+        comparison = fig21_databases.run(scenario, max_servers=150)
+        for label in comparison.ROW_ORDER:
+            row = comparison.rows[label]
+            assert set(row) == set(comparison.providers)
+            for value in row.values():
+                assert 0.0 <= value <= 1.0
+
+
+class TestFig22:
+    def test_matrices_populated(self, scenario, audit):
+        figures = fig22_confusion.run(scenario, max_servers=150)
+        assert figures.continent_matrix.total() > 0
+        assert figures.country_matrix.total() > 0
+        rate = figures.same_continent_confusion_rate(scenario)
+        assert 0.0 <= rate <= 1.0

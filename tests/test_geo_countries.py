@@ -1,0 +1,117 @@
+"""Tests for the built-in country registry."""
+
+import pytest
+
+from repro.geo import CONTINENTS, Country, CountryRegistry
+
+
+@pytest.fixture(scope="module")
+def registry():
+    return CountryRegistry.default()
+
+
+class TestRegistryIntegrity:
+    def test_reasonable_size(self, registry):
+        # The paper's providers claim ~150-222 countries; the built-in map
+        # needs a comparable population.
+        assert 140 <= len(registry) <= 250
+
+    def test_codes_unique_and_wellformed(self, registry):
+        codes = registry.codes()
+        assert len(codes) == len(set(codes))
+        for code in codes:
+            assert len(code) == 2
+            assert code == code.upper()
+
+    def test_every_continent_populated(self, registry):
+        for continent in CONTINENTS:
+            assert registry.by_continent(continent), continent
+
+    def test_every_tier_populated(self, registry):
+        for tier in (1, 2, 3):
+            assert registry.by_hosting_tier(tier), tier
+
+    def test_tier3_is_the_long_tail(self, registry):
+        # More hard-hosting countries than easy ones — the paper's premise.
+        assert (len(registry.by_hosting_tier(3))
+                > len(registry.by_hosting_tier(1)))
+
+    def test_anchors_inside_own_boxes(self, registry):
+        for country in registry:
+            for lat, lon in country.anchors:
+                assert country.contains(lat, lon), (
+                    f"{country.iso2} anchor ({lat}, {lon}) outside its boxes")
+
+    def test_paper_headline_countries_present(self, registry):
+        # Countries the paper names explicitly.
+        for code in ("CZ", "DE", "NL", "GB", "US", "KP", "VA", "PN"):
+            assert code in registry
+
+    def test_continent_assignments_follow_appendix_a(self, registry):
+        # The paper's split: Russia and Turkey with Europe, Middle East
+        # with Africa, Malaysia/NZ with Oceania, Mexico with Central
+        # America, Australia on its own.
+        assert registry.continent_of("RU") == "EU"
+        assert registry.continent_of("TR") == "EU"
+        assert registry.continent_of("IL") == "AF"
+        assert registry.continent_of("SA") == "AF"
+        assert registry.continent_of("MY") == "OC"
+        assert registry.continent_of("NZ") == "OC"
+        assert registry.continent_of("MX") == "CA"
+        assert registry.continent_of("AU") == "AU"
+
+
+class TestLookups:
+    def test_get_known(self, registry):
+        germany = registry.get("DE")
+        assert germany.name == "Germany"
+        assert germany.hosting_tier == 1
+
+    def test_get_unknown_raises(self, registry):
+        with pytest.raises(KeyError):
+            registry.get("ZZ")
+
+    def test_contains_operator(self, registry):
+        assert "FR" in registry
+        assert "ZZ" not in registry
+
+    def test_candidates_at_point(self, registry):
+        candidates = registry.candidates_at(52.52, 13.40)  # Berlin
+        assert any(c.iso2 == "DE" for c in candidates)
+
+    def test_bounding_box_encloses_all_boxes(self, registry):
+        us = registry.get("US")
+        lat_min, lat_max, lon_min, lon_max = us.bounding_box()
+        for b in us.boxes:
+            assert lat_min <= b[0] and b[1] <= lat_max
+            assert lon_min <= b[2] and b[3] <= lon_max
+
+
+class TestCountryValidation:
+    def test_rejects_unknown_continent(self):
+        with pytest.raises(ValueError):
+            Country("XX", "Nowhere", "XX", 1, ((0.0, 1.0, 0.0, 1.0),))
+
+    def test_rejects_bad_tier(self):
+        with pytest.raises(ValueError):
+            Country("XX", "Nowhere", "EU", 0, ((0.0, 1.0, 0.0, 1.0),))
+
+    def test_rejects_empty_boxes(self):
+        with pytest.raises(ValueError):
+            Country("XX", "Nowhere", "EU", 1, ())
+
+    def test_rejects_inverted_box(self):
+        with pytest.raises(ValueError):
+            Country("XX", "Nowhere", "EU", 1, ((5.0, 1.0, 0.0, 1.0),))
+
+    def test_default_anchors_are_box_centers(self):
+        country = Country("XX", "Nowhere", "EU", 1, ((0.0, 10.0, 0.0, 20.0),))
+        assert country.anchors == ((5.0, 10.0),)
+
+    def test_duplicate_codes_rejected(self):
+        box = ((0.0, 1.0, 0.0, 1.0),)
+        with pytest.raises(ValueError):
+            CountryRegistry([
+                Country("XX", "One", "EU", 1, box),
+                Country("XX", "Two", "EU", 1, box),
+            ])

@@ -1,0 +1,73 @@
+"""Tests for the data-centre registry."""
+
+import pytest
+
+from repro.geo import (
+    CountryRegistry,
+    DataCenter,
+    DataCenterRegistry,
+    Grid,
+    Region,
+    WorldMap,
+)
+from repro.geodesy import SphericalDisk
+
+
+@pytest.fixture(scope="module")
+def registry():
+    return DataCenterRegistry.from_registry()
+
+
+class TestConstruction:
+    def test_nonempty(self, registry):
+        assert len(registry) > 30
+
+    def test_tier1_countries_have_multiple_dcs(self, registry):
+        assert len(registry.in_country("US")) >= 3
+        assert len(registry.in_country("DE")) >= 2
+
+    def test_tier2_countries_have_one(self, registry):
+        assert len(registry.in_country("AT")) == 1
+
+    def test_tier3_countries_have_none(self, registry):
+        assert registry.in_country("KP") == []
+        assert registry.in_country("PN") == []
+
+    def test_names_unique(self, registry):
+        names = [dc.name for dc in registry]
+        assert len(names) == len(set(names))
+
+    def test_bad_coordinates_rejected(self):
+        with pytest.raises(ValueError):
+            DataCenter("bad", "XX", 95.0, 0.0)
+
+
+class TestQueries:
+    def test_in_region(self, registry):
+        grid = Grid(resolution_deg=2.0)
+        region = Region.from_disk(grid, SphericalDisk(50.11, 8.68, 300.0))
+        inside = registry.in_region(region)
+        assert inside
+        assert all(dc.country in ("DE", "LU", "FR", "BE", "NL", "CH")
+                   for dc in inside)
+
+    def test_countries_with_dc_in_region_deduplicates(self, registry):
+        grid = Grid(resolution_deg=2.0)
+        region = Region.from_disk(grid, SphericalDisk(40.0, -100.0, 3000.0))
+        countries = registry.countries_with_dc_in_region(region)
+        assert len(countries) == len(set(countries))
+        assert "US" in countries
+
+    def test_nearest(self, registry):
+        nearest = registry.nearest(50.0, 8.6)  # near Frankfurt
+        assert nearest.country == "DE"
+
+    def test_nearest_on_empty_registry(self):
+        assert DataCenterRegistry([]).nearest(0.0, 0.0) is None
+
+    def test_custom_country_registry(self):
+        custom = CountryRegistry.default()
+        registry = DataCenterRegistry.from_registry(custom)
+        tier1_codes = {c.iso2 for c in custom.by_hosting_tier(1)}
+        dc_countries = {dc.country for dc in registry}
+        assert tier1_codes <= dc_countries

@@ -1,0 +1,125 @@
+"""Tests for the analysis grid."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geo import Grid
+from repro.geodesy import EARTH_RADIUS_KM, destination_point, haversine_km
+
+lat_strategy = st.floats(min_value=-89.99, max_value=89.99)
+lon_strategy = st.floats(min_value=-180.0, max_value=179.99)
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return Grid(resolution_deg=4.0)
+
+
+class TestConstruction:
+    def test_cell_counts(self, grid):
+        assert grid.n_lat == 45
+        assert grid.n_lon == 90
+        assert grid.n_cells == 4050
+
+    def test_rejects_non_divisor_resolution(self):
+        with pytest.raises(ValueError):
+            Grid(resolution_deg=7.0)
+
+    def test_rejects_extreme_resolution(self):
+        with pytest.raises(ValueError):
+            Grid(resolution_deg=0.01)
+        with pytest.raises(ValueError):
+            Grid(resolution_deg=45.0)
+
+    def test_total_area_matches_sphere(self, grid):
+        sphere = 4 * math.pi * EARTH_RADIUS_KM ** 2
+        assert grid.cell_areas_km2.sum() == pytest.approx(sphere, rel=0.01)
+
+    def test_areas_shrink_toward_poles(self, grid):
+        equator_cell = grid.cell_index(0.0, 0.0)
+        polar_cell = grid.cell_index(86.0, 0.0)
+        assert grid.cell_areas_km2[equator_cell] > grid.cell_areas_km2[polar_cell]
+
+
+class TestIndexing:
+    @given(lat=lat_strategy, lon=lon_strategy)
+    @settings(max_examples=200, deadline=None)
+    def test_index_roundtrip_within_cell(self, lat, lon):
+        grid = Grid(resolution_deg=4.0)
+        index = grid.cell_index(lat, lon)
+        center_lat, center_lon = grid.cell_center(index)
+        assert abs(center_lat - lat) <= 2.0 + 1e-9
+        # Longitude differences wrap.
+        dlon = abs(center_lon - lon)
+        assert min(dlon, 360 - dlon) <= 2.0 + 1e-9
+
+    def test_poles_and_antimeridian_edges(self, grid):
+        for lat, lon in [(90.0, 0.0), (-90.0, 0.0), (0.0, -180.0),
+                         (0.0, 179.999), (0.0, 180.0)]:
+            index = grid.cell_index(lat, lon)
+            assert 0 <= index < grid.n_cells
+
+    def test_cell_center_bad_index(self, grid):
+        with pytest.raises(IndexError):
+            grid.cell_center(grid.n_cells)
+        with pytest.raises(IndexError):
+            grid.cell_center(-1)
+
+
+class TestDistancesAndMasks:
+    def test_distances_shape_and_nonnegative(self, grid):
+        distances = grid.distances_from(48.0, 11.0)
+        assert distances.shape == (grid.n_cells,)
+        assert (distances >= 0).all()
+
+    def test_distances_match_haversine(self, grid):
+        distances = grid.distances_from(10.0, 20.0)
+        for index in (0, 1234, grid.n_cells - 1):
+            lat, lon = grid.cell_center(index)
+            assert distances[index] == pytest.approx(
+                haversine_km(10.0, 20.0, lat, lon), rel=1e-4)
+
+    def test_distance_cache_returns_same_array(self, grid):
+        a = grid.distances_from(1.23456, 2.34567)
+        b = grid.distances_from(1.23456, 2.34567)
+        assert a is b
+
+    def test_disk_mask_contains_center_cell(self, grid):
+        mask = grid.disk_mask(30.0, 40.0, 500.0)
+        assert mask[grid.cell_index(30.0, 40.0)]
+
+    def test_disk_mask_radius_monotone(self, grid):
+        small = grid.disk_mask(0.0, 0.0, 500.0)
+        large = grid.disk_mask(0.0, 0.0, 2000.0)
+        assert (small & ~large).sum() == 0
+        assert large.sum() > small.sum()
+
+    def test_disk_mask_rejects_negative_radius(self, grid):
+        with pytest.raises(ValueError):
+            grid.disk_mask(0.0, 0.0, -5.0)
+
+    def test_ring_mask_excludes_center(self, grid):
+        mask = grid.ring_mask(0.0, 0.0, 1500.0, 4000.0)
+        assert not mask[grid.cell_index(0.0, 0.0)]
+        probe = destination_point(0.0, 0.0, 90.0, 2700.0)
+        assert mask[grid.cell_index(*probe)]
+
+    def test_ring_mask_rejects_bad_radii(self, grid):
+        with pytest.raises(ValueError):
+            grid.ring_mask(0.0, 0.0, 100.0, 50.0)
+
+    def test_ring_union_of_disk_difference(self, grid):
+        ring = grid.ring_mask(10.0, 10.0, 1000.0, 3000.0)
+        outer = grid.disk_mask(10.0, 10.0, 3000.0)
+        inner_open = grid.distances_from(10.0, 10.0) < 1000.0
+        assert np.array_equal(ring, outer & ~inner_open)
+
+    def test_latitude_band_mask(self, grid):
+        mask = grid.latitude_band_mask(-60.0, 85.0)
+        assert mask[grid.cell_index(0.0, 0.0)]
+        assert not mask[grid.cell_index(-70.0, 0.0)]
+        assert not mask[grid.cell_index(88.0, 0.0)]

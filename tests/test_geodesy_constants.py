@@ -1,0 +1,62 @@
+"""Tests for the physical constants and delay-to-distance helpers."""
+
+import pytest
+
+from repro.geodesy import (
+    BASELINE_SPEED_KM_PER_MS,
+    EARTH_EQUATORIAL_CIRCUMFERENCE_KM,
+    GEOSTATIONARY_ONE_WAY_MS,
+    ICLAB_SPEED_LIMIT_KM_PER_MS,
+    MAX_SURFACE_DISTANCE_KM,
+    SLOWLINE_SPEED_KM_PER_MS,
+    SPEED_OF_LIGHT_KM_PER_MS,
+    one_way_ms_to_max_km,
+    rtt_ms_to_one_way_ms,
+)
+
+
+class TestConstants:
+    def test_baseline_is_two_thirds_c(self):
+        assert BASELINE_SPEED_KM_PER_MS == pytest.approx(
+            2.0 / 3.0 * SPEED_OF_LIGHT_KM_PER_MS, rel=0.01)
+
+    def test_slowline_derivation_from_paper(self):
+        # 20 037.508 km / 237 ms = 84.5 km/ms (section 5.1).
+        assert SLOWLINE_SPEED_KM_PER_MS == pytest.approx(
+            20037.508 / GEOSTATIONARY_ONE_WAY_MS, rel=1e-6)
+        assert SLOWLINE_SPEED_KM_PER_MS == pytest.approx(84.5, abs=0.1)
+
+    def test_max_surface_distance_is_half_equator(self):
+        assert MAX_SURFACE_DISTANCE_KM == pytest.approx(
+            EARTH_EQUATORIAL_CIRCUMFERENCE_KM / 2.0)
+
+    def test_iclab_limit_is_half_c(self):
+        # 153 km/ms = 0.5104 c (section 6.2).
+        assert ICLAB_SPEED_LIMIT_KM_PER_MS / SPEED_OF_LIGHT_KM_PER_MS == (
+            pytest.approx(0.5104, abs=0.001))
+
+    def test_speed_ordering(self):
+        assert (SLOWLINE_SPEED_KM_PER_MS < ICLAB_SPEED_LIMIT_KM_PER_MS
+                < BASELINE_SPEED_KM_PER_MS < SPEED_OF_LIGHT_KM_PER_MS)
+
+
+class TestHelpers:
+    def test_max_km_linear_regime(self):
+        assert one_way_ms_to_max_km(10.0) == pytest.approx(2000.0)
+
+    def test_max_km_capped_at_half_circumference(self):
+        assert one_way_ms_to_max_km(1000.0) == MAX_SURFACE_DISTANCE_KM
+
+    def test_max_km_with_custom_speed(self):
+        assert one_way_ms_to_max_km(10.0, speed_km_per_ms=100.0) == 1000.0
+
+    def test_max_km_rejects_negative(self):
+        with pytest.raises(ValueError):
+            one_way_ms_to_max_km(-1.0)
+
+    def test_rtt_halving(self):
+        assert rtt_ms_to_one_way_ms(30.0) == 15.0
+
+    def test_rtt_rejects_negative(self):
+        with pytest.raises(ValueError):
+            rtt_ms_to_one_way_ms(-0.1)

@@ -1,0 +1,133 @@
+"""Tests for spherical disks and rings."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geodesy import (
+    EARTH_RADIUS_KM,
+    MAX_SURFACE_DISTANCE_KM,
+    SphericalDisk,
+    SphericalRing,
+    destination_point,
+    disk_contains_disk,
+    disks_intersect,
+)
+
+lat_strategy = st.floats(min_value=-85.0, max_value=85.0)
+lon_strategy = st.floats(min_value=-179.0, max_value=179.0)
+radius_strategy = st.floats(min_value=10.0, max_value=10000.0)
+
+
+class TestSphericalDisk:
+    def test_contains_center(self):
+        disk = SphericalDisk(48.0, 11.0, 100.0)
+        assert disk.contains(48.0, 11.0)
+
+    def test_contains_boundary_behaviour(self):
+        disk = SphericalDisk(0.0, 0.0, 500.0)
+        inside = destination_point(0.0, 0.0, 90.0, 499.0)
+        outside = destination_point(0.0, 0.0, 90.0, 501.0)
+        assert disk.contains(*inside)
+        assert not disk.contains(*outside)
+
+    def test_rejects_negative_radius(self):
+        with pytest.raises(ValueError):
+            SphericalDisk(0.0, 0.0, -1.0)
+
+    def test_rejects_bad_latitude(self):
+        with pytest.raises(ValueError):
+            SphericalDisk(95.0, 0.0, 10.0)
+
+    def test_whole_earth_flag(self):
+        assert SphericalDisk(0.0, 0.0, MAX_SURFACE_DISTANCE_KM).is_whole_earth
+        assert not SphericalDisk(0.0, 0.0, 1000.0).is_whole_earth
+
+    def test_area_small_disk_approximates_plane(self):
+        disk = SphericalDisk(0.0, 0.0, 100.0)
+        assert disk.area_km2() == pytest.approx(math.pi * 100.0 ** 2, rel=0.01)
+
+    def test_area_whole_sphere(self):
+        disk = SphericalDisk(0.0, 0.0, math.pi * EARTH_RADIUS_KM)
+        assert disk.area_km2() == pytest.approx(
+            4 * math.pi * EARTH_RADIUS_KM ** 2, rel=1e-9)
+
+    def test_contains_vec_matches_scalar(self):
+        disk = SphericalDisk(40.0, -3.0, 800.0)
+        lats = np.array([40.0, 41.0, 60.0])
+        lons = np.array([-3.0, -2.0, 30.0])
+        vec = disk.contains_vec(lats, lons)
+        for i in range(3):
+            assert vec[i] == disk.contains(lats[i], lons[i])
+
+    @given(lat=lat_strategy, lon=lon_strategy, radius=radius_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_area_positive_and_bounded(self, lat, lon, radius):
+        area = SphericalDisk(lat, lon, radius).area_km2()
+        assert 0.0 < area <= 4 * math.pi * EARTH_RADIUS_KM ** 2 + 1.0
+
+
+class TestSphericalRing:
+    def test_contains_annulus_only(self):
+        ring = SphericalRing(0.0, 0.0, 300.0, 600.0)
+        inner_point = destination_point(0.0, 0.0, 0.0, 200.0)
+        mid_point = destination_point(0.0, 0.0, 0.0, 450.0)
+        outer_point = destination_point(0.0, 0.0, 0.0, 700.0)
+        assert not ring.contains(*inner_point)
+        assert ring.contains(*mid_point)
+        assert not ring.contains(*outer_point)
+
+    def test_zero_inner_behaves_like_disk(self):
+        ring = SphericalRing(10.0, 10.0, 0.0, 500.0)
+        disk = SphericalDisk(10.0, 10.0, 500.0)
+        for probe in [(10.0, 10.0), (12.0, 10.0), (20.0, 10.0)]:
+            assert ring.contains(*probe) == disk.contains(*probe)
+
+    def test_rejects_inverted_radii(self):
+        with pytest.raises(ValueError):
+            SphericalRing(0.0, 0.0, 500.0, 100.0)
+
+    def test_area_is_cap_difference(self):
+        ring = SphericalRing(0.0, 0.0, 300.0, 600.0)
+        outer = SphericalDisk(0.0, 0.0, 600.0).area_km2()
+        inner = SphericalDisk(0.0, 0.0, 300.0).area_km2()
+        assert ring.area_km2() == pytest.approx(outer - inner, rel=1e-12)
+
+    def test_contains_vec_matches_scalar(self):
+        ring = SphericalRing(-20.0, 140.0, 200.0, 900.0)
+        lats = np.linspace(-25, -15, 7)
+        lons = np.full(7, 140.0)
+        vec = ring.contains_vec(lats, lons)
+        for i in range(7):
+            assert vec[i] == ring.contains(lats[i], lons[i])
+
+
+class TestDiskRelations:
+    def test_overlapping_disks_intersect(self):
+        a = SphericalDisk(0.0, 0.0, 600.0)
+        b = SphericalDisk(0.0, 5.0, 600.0)  # centers ~556 km apart
+        assert disks_intersect(a, b)
+
+    def test_distant_disks_do_not_intersect(self):
+        a = SphericalDisk(0.0, 0.0, 100.0)
+        b = SphericalDisk(0.0, 90.0, 100.0)
+        assert not disks_intersect(a, b)
+
+    def test_containment(self):
+        outer = SphericalDisk(0.0, 0.0, 1000.0)
+        inner = SphericalDisk(0.0, 1.0, 100.0)
+        assert disk_contains_disk(outer, inner)
+        assert not disk_contains_disk(inner, outer)
+
+    def test_whole_earth_contains_everything(self):
+        whole = SphericalDisk(0.0, 0.0, MAX_SURFACE_DISTANCE_KM)
+        assert disk_contains_disk(whole, SphericalDisk(-80.0, 170.0, 5000.0))
+
+    @given(lat=lat_strategy, lon=lon_strategy, radius=radius_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_intersection_is_reflexive(self, lat, lon, radius):
+        disk = SphericalDisk(lat, lon, radius)
+        assert disks_intersect(disk, disk)

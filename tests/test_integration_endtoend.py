@@ -1,0 +1,117 @@
+"""Integration tests: the full pipeline against simulator ground truth."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CBGPlusPlus,
+    ProxyMeasurer,
+    RttObservation,
+    TwoPhaseDriver,
+    TwoPhaseSelector,
+    Verdict,
+    assess_claim,
+)
+from repro.netsim import CliTool
+
+
+class TestDirectGeolocation:
+    """Locating hosts we control, CLI-tool measurements."""
+
+    @pytest.mark.parametrize("lat,lon,country", [
+        (48.14, 11.58, "DE"),    # Munich
+        (40.42, -3.70, "ES"),    # Madrid
+        (41.88, -87.63, "US"),   # Chicago
+        (35.68, 139.69, "JP"),   # Tokyo
+    ])
+    def test_cbgpp_covers_known_hosts(self, scenario, lat, lon, country):
+        host = scenario.factory.create(lat, lon)
+        tool = CliTool(scenario.network, seed=host.host_id)
+        rng = np.random.default_rng(host.host_id)
+        observations = [
+            RttObservation(lm.name, lm.lat, lm.lon,
+                           tool.measure(host, lm, rng).rtt_ms / 2)
+            for lm in scenario.atlas.anchors]
+        algorithm = CBGPlusPlus(scenario.calibrations, scenario.worldmap)
+        prediction = algorithm.predict(observations)
+        # The region covers the truth outright, or misses by at most the
+        # grid-floor scale (clean CLI measurements can expose residual
+        # short-range underestimation — see EXPERIMENTS.md deviation 4);
+        # either way the *claim assessment* must not call the true
+        # country false.
+        assert prediction.miss_distance_km(lat, lon) < 250.0
+        assessment = assess_claim(prediction.region, country,
+                                  scenario.worldmap)
+        assert assessment.verdict is not Verdict.FALSE
+
+
+class TestProxiedGeolocation:
+    """Locating proxies end to end through the tunnel."""
+
+    def test_honest_server_claim_not_disproved(self, scenario):
+        honest = next(s for s in scenario.all_servers()
+                      if s.honest and scenario.true_country_of(s)
+                      == s.claimed_country)
+        algorithm = CBGPlusPlus(scenario.calibrations, scenario.worldmap)
+        driver = TwoPhaseDriver(TwoPhaseSelector(scenario.atlas, seed=1),
+                                algorithm)
+        measurer = ProxyMeasurer(scenario.network, scenario.client, honest,
+                                 seed=honest.host.host_id)
+        rng = np.random.default_rng(1)
+        result = driver.locate(measurer.observe, rng)
+        assessment = assess_claim(result.prediction.region,
+                                  honest.claimed_country, scenario.worldmap)
+        assert assessment.verdict is not Verdict.FALSE
+
+    def test_cross_continent_lie_disproved(self, scenario):
+        # A server claiming a different continent than its true location.
+        liar = None
+        for server in scenario.all_servers():
+            truth = scenario.true_country_of(server)
+            if truth is None or server.honest:
+                continue
+            if (scenario.registry.continent_of(truth)
+                    != scenario.registry.continent_of(server.claimed_country)):
+                liar = server
+                break
+        assert liar is not None, "fleet should contain cross-continent lies"
+        algorithm = CBGPlusPlus(scenario.calibrations, scenario.worldmap)
+        driver = TwoPhaseDriver(TwoPhaseSelector(scenario.atlas, seed=2),
+                                algorithm)
+        measurer = ProxyMeasurer(scenario.network, scenario.client, liar,
+                                 seed=liar.host.host_id)
+        rng = np.random.default_rng(2)
+        result = driver.locate(measurer.observe, rng)
+        assessment = assess_claim(result.prediction.region,
+                                  liar.claimed_country, scenario.worldmap)
+        assert assessment.verdict is Verdict.FALSE
+
+    def test_prediction_near_true_location(self, scenario):
+        server = scenario.all_servers()[10]
+        algorithm = CBGPlusPlus(scenario.calibrations, scenario.worldmap)
+        driver = TwoPhaseDriver(TwoPhaseSelector(scenario.atlas, seed=3),
+                                algorithm)
+        measurer = ProxyMeasurer(scenario.network, scenario.client, server,
+                                 seed=server.host.host_id)
+        rng = np.random.default_rng(3)
+        result = driver.locate(measurer.observe, rng)
+        miss = result.prediction.miss_distance_km(*server.true_location)
+        assert miss < 1500.0
+
+
+class TestAuditSoundnessSweep:
+    """The paper's design goal, measured over the audited slice:
+    disproofs (FALSE verdicts) must be overwhelmingly correct."""
+
+    def test_false_verdicts_rarely_wrong(self, audit):
+        false_records = [r for r in audit.records if r.assessment.is_false]
+        assert false_records, "audit should disprove something"
+        wrong = [r for r in false_records if r.server.honest]
+        assert len(wrong) <= max(2, 0.1 * len(false_records))
+
+    def test_two_thirds_not_confirmed(self, audit):
+        """Paper: one third definitely false, another third uncertain."""
+        counts = audit.verdict_counts()
+        total = len(audit.records)
+        not_confirmed = total - counts.get("credible", 0)
+        assert not_confirmed >= total / 2

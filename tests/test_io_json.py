@@ -1,0 +1,89 @@
+"""Tests for the JSON audit archive."""
+
+import json
+
+import pytest
+
+from repro.geo import Grid
+from repro.io_json import SCHEMA_VERSION, compare_audits, load_audit, save_audit
+
+
+@pytest.fixture(scope="module")
+def archive(scenario, audit, tmp_path_factory):
+    path = tmp_path_factory.mktemp("archives") / "audit.json"
+    save_audit(audit, path)
+    return path
+
+
+class TestRoundTrip:
+    def test_file_is_valid_json(self, archive):
+        payload = json.loads(archive.read_text())
+        assert payload["schema_version"] == SCHEMA_VERSION
+        assert payload["records"]
+
+    def test_reload_preserves_verdicts(self, scenario, audit, archive):
+        stored = load_audit(archive, scenario.grid)
+        assert len(stored.records) == len(audit.records)
+        assert stored.verdict_counts() == audit.verdict_counts()
+        assert stored.eta == pytest.approx(audit.eta.eta)
+
+    def test_reload_preserves_regions_exactly(self, scenario, audit, archive):
+        stored = load_audit(archive, scenario.grid)
+        for original, reloaded in zip(audit.records[:20], stored.records[:20]):
+            assert original.region == reloaded.region
+
+    def test_reload_preserves_server_identity(self, scenario, audit, archive):
+        stored = load_audit(archive, scenario.grid)
+        for original, reloaded in zip(audit.records, stored.records):
+            assert reloaded.server.ip == original.server.ip
+            assert reloaded.server.asn == original.server.asn
+
+    def test_no_ground_truth_leaks_into_archive(self, archive):
+        """An archive mimics what a real audit could publish; the
+        simulator's omniscient fields must not appear."""
+        text = archive.read_text()
+        assert '"honest"' not in text
+        assert '"true_location"' not in text
+
+    def test_wrong_resolution_rejected(self, archive):
+        with pytest.raises(ValueError):
+            load_audit(archive, Grid(resolution_deg=2.0))
+
+    def test_wrong_schema_rejected(self, tmp_path, scenario):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema_version": 999}))
+        with pytest.raises(ValueError):
+            load_audit(path, scenario.grid)
+
+    def test_empty_audit_rejected(self, audit, tmp_path):
+        from repro.experiments.audit import AuditResult
+        empty = AuditResult(records=[], eta=audit.eta)
+        with pytest.raises(ValueError):
+            save_audit(empty, tmp_path / "empty.json")
+
+
+class TestLongitudinalDiff:
+    def test_identical_archives_no_changes(self, scenario, archive):
+        a = load_audit(archive, scenario.grid)
+        b = load_audit(archive, scenario.grid)
+        assert compare_audits(a, b) == {}
+
+    def test_verdict_flip_detected(self, scenario, archive):
+        from repro.core.assessment import Verdict
+        a = load_audit(archive, scenario.grid)
+        b = load_audit(archive, scenario.grid)
+        flipped = b.records[0]
+        flipped.assessment.verdict = (
+            Verdict.FALSE if flipped.assessment.verdict is not Verdict.FALSE
+            else Verdict.CREDIBLE)
+        changes = compare_audits(a, b)
+        assert any(flipped.server.ip in ips for ips in changes.values())
+
+    def test_added_and_removed(self, scenario, archive):
+        a = load_audit(archive, scenario.grid)
+        b = load_audit(archive, scenario.grid)
+        removed = b.records.pop()
+        changes = compare_audits(a, b)
+        assert removed.server.ip in changes["removed"]
+        changes_reverse = compare_audits(b, a)
+        assert removed.server.ip in changes_reverse["added"]

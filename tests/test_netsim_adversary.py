@@ -1,0 +1,88 @@
+"""Tests for the adversarial proxy model."""
+
+import numpy as np
+import pytest
+
+from repro.netsim import AdversarialTunnel, ProxiedClient
+
+TOKYO = (35.68, 139.69)
+
+
+@pytest.fixture(scope="module")
+def victim(scenario):
+    return next(s for s in scenario.all_servers()
+                if scenario.true_country_of(s) == "DE")
+
+
+class TestAdversarialTunnel:
+    def test_strategy_validated(self, scenario, victim):
+        with pytest.raises(ValueError):
+            AdversarialTunnel(scenario.network, scenario.client, victim,
+                              pretend_location=TOKYO, strategy="bribe")
+
+    def test_location_validated(self, scenario, victim):
+        with pytest.raises(ValueError):
+            AdversarialTunnel(scenario.network, scenario.client, victim,
+                              pretend_location=(95.0, 0.0))
+
+    def test_add_delay_never_faster_than_honest_floor(self, scenario, victim):
+        """Delay can only be added: shaped RTTs >= real network floor."""
+        honest_floor = {}
+        tunnel = AdversarialTunnel(scenario.network, scenario.client, victim,
+                                   pretend_location=TOKYO,
+                                   strategy="add-delay", seed=1)
+        rng = np.random.default_rng(1)
+        for landmark in scenario.atlas.anchors[:20]:
+            floor = (scenario.network.base_rtt_ms(scenario.client, victim.host)
+                     + scenario.network.base_rtt_ms(victim.host, landmark.host))
+            shaped = min(tunnel.rtt_through_proxy_ms(landmark, rng)
+                         for _ in range(5))
+            assert shaped >= floor - 1e-9
+
+    def test_add_delay_inflates_far_from_pretend_location(self, scenario,
+                                                          victim):
+        """Landmarks far from Tokyo see delays far above the honest path."""
+        honest = ProxiedClient(scenario.network, scenario.client, victim,
+                               seed=2)
+        tunnel = AdversarialTunnel(scenario.network, scenario.client, victim,
+                                   pretend_location=TOKYO,
+                                   strategy="add-delay", seed=2)
+        rng = np.random.default_rng(2)
+        # A European landmark: close to the (German) truth, far from Tokyo.
+        landmark = next(lm for lm in scenario.atlas.anchors
+                        if lm.name.startswith("anchor-EU"))
+        honest_rtt = min(honest.rtt_through_proxy_ms(landmark, rng)
+                         for _ in range(5))
+        shaped_rtt = min(tunnel.rtt_through_proxy_ms(landmark, rng)
+                         for _ in range(5))
+        assert shaped_rtt > honest_rtt + 50.0
+
+    def test_forge_can_beat_physics(self, scenario, victim):
+        """Forged SYN-ACKs make an Asian landmark look close to a German
+        proxy — faster than the real path allows."""
+        from repro.geodesy import haversine_km
+        tunnel = AdversarialTunnel(scenario.network, scenario.client, victim,
+                                   pretend_location=TOKYO,
+                                   strategy="forge-synack", seed=3)
+        rng = np.random.default_rng(3)
+        # The landmark nearest the pretended location: its forged RTT is
+        # tiny, while the real path runs all the way to Germany and back.
+        landmark = min(scenario.atlas.anchors,
+                       key=lambda lm: haversine_km(*TOKYO, lm.lat, lm.lon))
+        real_floor = (scenario.network.base_rtt_ms(scenario.client, victim.host)
+                      + scenario.network.base_rtt_ms(victim.host, landmark.host))
+        shaped = min(tunnel.rtt_through_proxy_ms(landmark, rng)
+                     for _ in range(5))
+        assert shaped < real_floor
+
+    def test_self_ping_unaffected(self, scenario, victim):
+        honest = ProxiedClient(scenario.network, scenario.client, victim,
+                               seed=4)
+        tunnel = AdversarialTunnel(scenario.network, scenario.client, victim,
+                                   pretend_location=TOKYO,
+                                   strategy="forge-synack", seed=4)
+        a = min(honest.self_ping_through_proxy_ms(np.random.default_rng(9))
+                for _ in range(5))
+        b = min(tunnel.self_ping_through_proxy_ms(np.random.default_rng(9))
+                for _ in range(5))
+        assert a == pytest.approx(b)

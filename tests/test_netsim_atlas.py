@@ -1,0 +1,89 @@
+"""Tests for the Atlas-like constellation and its mesh database."""
+
+import numpy as np
+import pytest
+
+from repro.geodesy import BASELINE_SPEED_KM_PER_MS, haversine_km
+
+
+class TestPlacement:
+    def test_quota_counts(self, scenario):
+        atlas = scenario.atlas
+        assert len(atlas.anchors) > 50
+        assert len(atlas.probes) > len(atlas.anchors)
+
+    def test_europe_heaviest(self, scenario):
+        atlas = scenario.atlas
+        per_continent = {}
+        for lm in atlas.anchors:
+            continent = scenario.topology.city(lm.host.city_id).continent
+            per_continent[continent] = per_continent.get(continent, 0) + 1
+        assert per_continent["EU"] == max(per_continent.values())
+
+    def test_no_anchors_on_satellite_cities(self, scenario):
+        for lm in scenario.atlas.all_landmarks():
+            assert not scenario.topology.city(lm.host.city_id).satellite_only
+
+    def test_landmark_names_unique(self, scenario):
+        names = [lm.name for lm in scenario.atlas.all_landmarks()]
+        assert len(names) == len(set(names))
+
+    def test_some_probes_have_wrong_locations(self, scenario):
+        wrong = [lm for lm in scenario.atlas.probes if lm.location_is_wrong]
+        assert wrong, "probe location-error model should fire sometimes"
+        # But only a small fraction (rate 0.03).
+        assert len(wrong) < 0.15 * len(scenario.atlas.probes)
+
+    def test_anchors_never_have_wrong_locations(self, scenario):
+        assert all(not lm.location_is_wrong for lm in scenario.atlas.anchors)
+
+    def test_reported_location_used_as_lat_lon(self, scenario):
+        for lm in scenario.atlas.probes:
+            if lm.reported_lat is not None:
+                assert lm.lat == lm.reported_lat
+                assert lm.lon == lm.reported_lon
+
+
+class TestMeshDatabase:
+    def test_symmetric_and_deterministic(self, scenario):
+        atlas = scenario.atlas
+        a, b = atlas.anchors[0], atlas.anchors[1]
+        forward = atlas.min_one_way_ms(a, b)
+        assert atlas.min_one_way_ms(b, a) == forward
+        assert atlas.min_one_way_ms(a, b) == forward  # cached
+
+    def test_respects_physical_floor(self, scenario):
+        atlas = scenario.atlas
+        anchors = atlas.anchors[:20]
+        for i, a in enumerate(anchors):
+            for b in anchors[i + 1:]:
+                true_distance = a.host.distance_to(b.host)
+                delay = atlas.min_one_way_ms(a, b)
+                assert delay >= true_distance / BASELINE_SPEED_KM_PER_MS - 1e-9
+
+    def test_calibration_data_shape(self, scenario):
+        atlas = scenario.atlas
+        data = atlas.calibration_data(atlas.anchors[0])
+        assert len(data) == len(atlas.anchors) - 1
+        for distance, delay in data:
+            assert distance >= 0
+            assert delay > 0
+
+    def test_calibration_uses_reported_distance(self, scenario):
+        atlas = scenario.atlas
+        wrong = next((lm for lm in atlas.probes if lm.location_is_wrong), None)
+        if wrong is None:
+            pytest.skip("no misplaced probe in this seed")
+        data = atlas.calibration_data(wrong)
+        peer = atlas.anchors[0]
+        reported = haversine_km(wrong.lat, wrong.lon, peer.lat, peer.lon)
+        assert any(abs(d - reported) < 1e-6 for d, _ in data)
+
+    def test_continent_queries(self, scenario):
+        atlas = scenario.atlas
+        eu_landmarks = atlas.landmarks_on_continent("EU")
+        eu_anchors = atlas.anchors_on_continent("EU")
+        assert eu_anchors
+        assert len(eu_landmarks) >= len(eu_anchors)
+        for lm in eu_anchors:
+            assert scenario.topology.city(lm.host.city_id).continent == "EU"

@@ -1,0 +1,79 @@
+"""Tests for constellation churn (paper section 4)."""
+
+import numpy as np
+import pytest
+
+from repro.core import CBGPlusPlus, CalibrationSet, RttObservation
+from repro.experiments.scenario import (
+    SMALL_ANCHOR_QUOTAS,
+    SMALL_CROWD_QUOTAS,
+    SMALL_PROBE_QUOTAS,
+    build_scenario,
+)
+from repro.netsim import CliTool
+
+
+@pytest.fixture(scope="module")
+def churn_scenario():
+    # A private scenario: churn mutates the constellation, so the shared
+    # session fixture must not be touched.
+    return build_scenario(seed=77, proxy_scale=0.1,
+                          anchor_quotas=SMALL_ANCHOR_QUOTAS,
+                          probe_quotas=SMALL_PROBE_QUOTAS,
+                          crowd_quotas=SMALL_CROWD_QUOTAS)
+
+
+class TestChurn:
+    def test_counts_change(self, churn_scenario):
+        atlas = churn_scenario.atlas
+        before = len(atlas.anchors)
+        atlas.apply_churn(n_decommission=4, n_add=10,
+                          rng=np.random.default_rng(0))
+        assert len(atlas.anchors) == before - 4 + 10
+        assert len(atlas.decommissioned) == 4
+
+    def test_decommissioned_not_selectable(self, churn_scenario):
+        atlas = churn_scenario.atlas
+        gone = {lm.name for lm in atlas.decommissioned}
+        assert gone
+        current = {lm.name for lm in atlas.all_landmarks()}
+        assert not (gone & current)
+
+    def test_new_anchors_usable_as_landmarks(self, churn_scenario):
+        atlas = churn_scenario.atlas
+        newcomers = [lm for lm in atlas.anchors
+                     if lm.name.startswith("anchor-new-")]
+        assert newcomers
+        # A fresh calibration set picks them up and the pipeline works.
+        calibrations = CalibrationSet(atlas)
+        model = calibrations.cbg(newcomers[0].name)
+        assert model.speed_km_per_ms > 0
+
+    def test_pipeline_survives_churn(self, churn_scenario):
+        scenario = churn_scenario
+        calibrations = CalibrationSet(scenario.atlas)
+        algorithm = CBGPlusPlus(calibrations, scenario.worldmap)
+        target = scenario.factory.create(48.2, 16.4, name="churn-target")
+        tool = CliTool(scenario.network, seed=5)
+        rng = np.random.default_rng(5)
+        observations = [
+            RttObservation(lm.name, lm.lat, lm.lon,
+                           tool.measure(target, lm, rng).rtt_ms / 2)
+            for lm in scenario.atlas.anchors]
+        prediction = algorithm.predict(observations)
+        assert not prediction.failed
+        assert prediction.miss_distance_km(48.2, 16.4) < 500.0
+
+    def test_cannot_gut_the_constellation(self, churn_scenario):
+        with pytest.raises(ValueError):
+            churn_scenario.atlas.apply_churn(
+                n_decommission=len(churn_scenario.atlas.anchors))
+
+    def test_mesh_archive_retains_decommissioned(self, churn_scenario):
+        """Archived pings of a decommissioned anchor stay queryable, as
+        RIPE's public archive does."""
+        atlas = churn_scenario.atlas
+        gone = atlas.decommissioned[0]
+        survivor = atlas.anchors[0]
+        delay = atlas.min_one_way_ms(gone, survivor)
+        assert delay > 0

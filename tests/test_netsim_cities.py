@@ -1,0 +1,67 @@
+"""Tests for the city list."""
+
+import pytest
+
+from repro.geo import CountryRegistry
+from repro.netsim import (
+    CONGESTION_SCALE_MS,
+    SATELLITE_ONLY_COUNTRIES,
+    build_cities,
+    cities_by_continent,
+)
+
+
+@pytest.fixture(scope="module")
+def cities():
+    return build_cities()
+
+
+class TestCityList:
+    def test_one_city_per_anchor(self, cities):
+        registry = CountryRegistry.default()
+        expected = sum(len(c.anchors) for c in registry)
+        assert len(cities) == expected
+
+    def test_ids_sequential(self, cities):
+        assert [c.city_id for c in cities] == list(range(len(cities)))
+
+    def test_global_hubs_exist(self, cities):
+        names = {c.name for c in cities if c.hub_level == 2}
+        for expected in ("Frankfurt", "Amsterdam", "London", "Singapore",
+                         "Tokyo", "New York"):
+            assert expected in names
+
+    def test_hub_counts_sane(self, cities):
+        n_global = sum(1 for c in cities if c.hub_level == 2)
+        n_regional = sum(1 for c in cities if c.hub_level == 1)
+        assert 10 <= n_global <= 30
+        assert n_regional > n_global
+
+    def test_satellite_cities_flagged(self, cities):
+        for city in cities:
+            assert city.satellite_only == (
+                city.iso2 in SATELLITE_ONLY_COUNTRIES)
+
+    def test_satellite_countries_present(self, cities):
+        assert any(c.satellite_only for c in cities)
+
+    def test_congestion_positive_and_regional(self, cities):
+        for city in cities:
+            assert city.congestion_scale_ms > 0
+        by_cont = cities_by_continent(cities)
+        eu_mean = sum(c.congestion_scale_ms for c in by_cont["EU"]) / len(by_cont["EU"])
+        af_mean = sum(c.congestion_scale_ms for c in by_cont["AF"]) / len(by_cont["AF"])
+        # The substrate's regional asymmetry: Africa more congested than Europe.
+        assert af_mean > eu_mean
+
+    def test_congestion_scale_table_covers_all_continents(self, cities):
+        for city in cities:
+            assert city.continent in CONGESTION_SCALE_MS
+
+    def test_every_continent_has_cities(self, cities):
+        by_cont = cities_by_continent(cities)
+        assert set(by_cont) == {"EU", "AF", "AS", "OC", "AU", "NA", "CA", "SA"}
+
+    def test_is_hub_property(self, cities):
+        for city in cities:
+            assert city.is_hub == (city.hub_level > 0)

@@ -1,0 +1,102 @@
+"""Tests for the CLI and web measurement tools."""
+
+import numpy as np
+import pytest
+
+from repro.netsim import CliTool, WebTool
+
+
+@pytest.fixture(scope="module")
+def linux_client(scenario):
+    return scenario.factory.create(50.0, 8.6, name="tool-linux", os="linux")
+
+
+@pytest.fixture(scope="module")
+def windows_client(scenario):
+    return scenario.factory.create(50.0, 8.6, name="tool-windows", os="windows")
+
+
+class TestCliTool:
+    def test_always_one_round_trip(self, scenario, linux_client, rng):
+        tool = CliTool(scenario.network)
+        for landmark in scenario.atlas.anchors[:10]:
+            sample = tool.measure(linux_client, landmark, rng)
+            assert sample.n_round_trips == 1
+            assert sample.tool == "cli"
+
+    def test_rtt_close_to_network_base(self, scenario, linux_client):
+        tool = CliTool(scenario.network)
+        landmark = scenario.atlas.anchors[0]
+        base = scenario.network.base_rtt_ms(linux_client, landmark.host)
+        rng = np.random.default_rng(0)
+        best = min(tool.measure(linux_client, landmark, rng).rtt_ms
+                   for _ in range(20))
+        assert base <= best <= base * 1.5 + 10
+
+    def test_distance_recorded(self, scenario, linux_client, rng):
+        tool = CliTool(scenario.network)
+        landmark = scenario.atlas.anchors[0]
+        sample = tool.measure(linux_client, landmark, rng)
+        assert sample.distance_km == pytest.approx(
+            linux_client.distance_to(landmark.host))
+
+    def test_measure_many(self, scenario, linux_client, rng):
+        tool = CliTool(scenario.network)
+        samples = tool.measure_many(linux_client, scenario.atlas.anchors[:5], rng)
+        assert len(samples) == 5
+
+
+class TestWebTool:
+    def test_round_trips_match_port_80(self, scenario, linux_client, rng):
+        tool = WebTool(scenario.network)
+        for landmark in scenario.atlas.anchors[:20]:
+            sample = tool.measure(linux_client, landmark, rng)
+            expected = 2 if landmark.host.listens_on_port_80 else 1
+            assert sample.n_round_trips == expected
+
+    def test_rejects_unknown_browser(self, scenario):
+        with pytest.raises(ValueError):
+            WebTool(scenario.network, browser="netscape-4")
+
+    def test_linux_overhead_small(self, scenario, linux_client):
+        tool = WebTool(scenario.network)
+        rng = np.random.default_rng(0)
+        landmark = next(lm for lm in scenario.atlas.anchors
+                        if not lm.host.listens_on_port_80)
+        base = scenario.network.base_rtt_ms(linux_client, landmark.host)
+        best = min(tool.measure(linux_client, landmark, rng).rtt_ms
+                   for _ in range(20))
+        assert best < base + 20
+
+    def test_linux_never_flags_outliers(self, scenario, linux_client):
+        tool = WebTool(scenario.network)
+        rng = np.random.default_rng(1)
+        samples = [tool.measure(linux_client, lm, rng)
+                   for lm in scenario.atlas.anchors for _ in range(2)]
+        assert not any(s.is_outlier for s in samples)
+
+    def test_windows_produces_outliers(self, scenario, windows_client):
+        tool = WebTool(scenario.network, browser="edge-17")
+        rng = np.random.default_rng(2)
+        samples = [tool.measure(windows_client, lm, rng)
+                   for lm in scenario.atlas.anchors for _ in range(3)]
+        outliers = [s for s in samples if s.is_outlier]
+        assert outliers
+        clean = [s.rtt_ms for s in samples if not s.is_outlier]
+        assert min(s.rtt_ms for s in outliers) > np.median(clean)
+
+    def test_windows_noisier_than_linux(self, scenario, linux_client,
+                                        windows_client):
+        landmark = scenario.atlas.anchors[0]
+        tool = WebTool(scenario.network)
+        rng = np.random.default_rng(3)
+        linux_rtts = [tool.measure(linux_client, landmark, rng).rtt_ms
+                      for _ in range(30)]
+        windows_rtts = [tool.measure(windows_client, landmark, rng).rtt_ms
+                        for s in range(30)]
+        assert np.median(windows_rtts) > np.median(linux_rtts)
+
+    def test_apparent_one_way_halves_rtt(self, scenario, linux_client, rng):
+        tool = WebTool(scenario.network)
+        sample = tool.measure(linux_client, scenario.atlas.anchors[0], rng)
+        assert sample.apparent_one_way_ms == sample.rtt_ms / 2.0

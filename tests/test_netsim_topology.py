@@ -1,0 +1,101 @@
+"""Tests for the AS topology and router graph."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.netsim import build_cities, build_topology
+
+
+@pytest.fixture(scope="module")
+def topology():
+    return build_topology(build_cities(), seed=0)
+
+
+class TestStructure:
+    def test_every_city_has_access_as(self, topology):
+        for city in topology.cities:
+            asn = topology.access_as_of_city[city.city_id]
+            autonomous_system = topology.as_by_asn(asn)
+            assert autonomous_system.tier == 3
+            assert autonomous_system.city_ids == (city.city_id,)
+
+    def test_tier_population(self, topology):
+        tiers = {1: 0, 2: 0, 3: 0}
+        for autonomous_system in topology.ases:
+            tiers[autonomous_system.tier] += 1
+        assert tiers[1] == 8
+        assert tiers[2] >= 15
+        assert tiers[3] == len(topology.cities)
+
+    def test_backbones_span_continents(self, topology):
+        continents_of = lambda a: {topology.city(cid).continent
+                                   for cid in a.city_ids}
+        for autonomous_system in topology.ases:
+            if autonomous_system.tier == 1:
+                assert len(continents_of(autonomous_system)) >= 5
+
+    def test_graph_is_connected(self, topology):
+        assert nx.is_connected(topology.graph)
+
+    def test_every_edge_has_positive_latency(self, topology):
+        for _, _, data in topology.graph.edges(data=True):
+            assert data["latency_ms"] > 0
+
+    def test_access_routers_in_graph(self, topology):
+        for city in topology.cities:
+            assert topology.access_router(city.city_id) in topology.graph
+
+    def test_unknown_asn_raises(self, topology):
+        with pytest.raises(KeyError):
+            topology.as_by_asn(1)
+
+
+class TestSatelliteCities:
+    def test_satellite_access_has_single_expensive_uplink(self, topology):
+        for city in topology.cities:
+            if not city.satellite_only:
+                continue
+            router = topology.access_router(city.city_id)
+            neighbors = list(topology.graph.neighbors(router))
+            assert len(neighbors) == 1
+            latency = topology.graph[router][neighbors[0]]["latency_ms"]
+            assert latency >= 250.0
+
+
+class TestHostingAs:
+    def test_add_hosting_as(self):
+        topology = build_topology(build_cities(), seed=1)
+        rng = np.random.default_rng(0)
+        before_version = topology.version
+        hosting = topology.add_hosting_as("Hosting-test", 0, rng)
+        assert hosting.tier == 3
+        assert (hosting.asn, 0) in topology.graph
+        assert topology.graph.degree((hosting.asn, 0)) >= 1
+        assert topology.version == before_version + 1
+
+    def test_hosting_asns_unique(self):
+        topology = build_topology(build_cities(), seed=2)
+        rng = np.random.default_rng(0)
+        a = topology.add_hosting_as("one", 0, rng)
+        b = topology.add_hosting_as("two", 0, rng)
+        assert a.asn != b.asn
+        existing = {s.asn for s in topology.ases}
+        assert len(existing) == len(topology.ases)
+
+
+class TestDeterminism:
+    def test_same_seed_same_topology(self):
+        cities = build_cities()
+        a = build_topology(cities, seed=5)
+        b = build_topology(cities, seed=5)
+        assert set(a.graph.nodes) == set(b.graph.nodes)
+        assert set(map(frozenset, a.graph.edges)) == set(map(frozenset, b.graph.edges))
+
+    def test_different_seed_different_links(self):
+        cities = build_cities()
+        a = build_topology(cities, seed=5)
+        b = build_topology(cities, seed=6)
+        edges_a = {frozenset(e) for e in a.graph.edges}
+        edges_b = {frozenset(e) for e in b.graph.edges}
+        assert edges_a != edges_b

@@ -1,0 +1,74 @@
+"""Tests for the ECDF helper."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats import ecdf
+
+
+class TestEcdf:
+    def test_basic_fractions(self):
+        cdf = ecdf([1.0, 2.0, 3.0, 4.0])
+        assert cdf.at(0.5) == 0.0
+        assert cdf.at(1.0) == 0.25
+        assert cdf.at(2.5) == 0.5
+        assert cdf.at(4.0) == 1.0
+        assert cdf.at(100.0) == 1.0
+
+    def test_duplicates(self):
+        cdf = ecdf([1.0, 1.0, 1.0, 2.0])
+        assert cdf.at(1.0) == 0.75
+
+    def test_quantiles(self):
+        cdf = ecdf(list(range(1, 101)))
+        assert cdf.quantile(0.5) == 50.0
+        assert cdf.quantile(0.9) == 90.0
+        assert cdf.quantile(1.0) == 100.0
+
+    def test_quantile_bounds_checked(self):
+        cdf = ecdf([1.0, 2.0])
+        with pytest.raises(ValueError):
+            cdf.quantile(0.0)
+        with pytest.raises(ValueError):
+            cdf.quantile(1.5)
+
+    def test_series(self):
+        cdf = ecdf([10.0, 20.0, 30.0])
+        series = cdf.series([5, 15, 35])
+        assert series == [(5.0, 0.0), (15.0, pytest.approx(1 / 3)), (35.0, 1.0)]
+
+    def test_infinity_censoring(self):
+        # The figure-9 pipeline censors empty predictions at +inf; the
+        # ECDF must still work for finite thresholds.
+        cdf = ecdf([100.0, 200.0, math.inf])
+        assert cdf.at(250.0) == pytest.approx(2 / 3)
+        assert cdf.quantile(1.0) == math.inf
+
+    def test_rejects_empty_and_nan(self):
+        with pytest.raises(ValueError):
+            ecdf([])
+        with pytest.raises(ValueError):
+            ecdf([1.0, float("nan")])
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6),
+                    min_size=1, max_size=100))
+    @settings(max_examples=100, deadline=None)
+    def test_monotone_and_bounded(self, values):
+        cdf = ecdf(values)
+        probes = np.linspace(min(values) - 1, max(values) + 1, 17)
+        fractions = [cdf.at(float(p)) for p in probes]
+        assert fractions == sorted(fractions)
+        assert all(0.0 <= f <= 1.0 for f in fractions)
+
+    @given(values=st.lists(st.floats(min_value=-1e6, max_value=1e6),
+                           min_size=1, max_size=50),
+           q=st.floats(min_value=0.01, max_value=1.0))
+    @settings(max_examples=100, deadline=None)
+    def test_quantile_inverts_at(self, values, q):
+        cdf = ecdf(values)
+        v = cdf.quantile(q)
+        assert cdf.at(v) >= q - 1e-12

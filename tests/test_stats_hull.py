@@ -1,0 +1,90 @@
+"""Tests for convex hull boundaries."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats import convex_hull, lower_hull, piecewise_interpolate, upper_hull
+
+point_strategy = st.tuples(
+    st.floats(min_value=0.0, max_value=1000.0),
+    st.floats(min_value=0.0, max_value=1000.0))
+
+
+class TestHulls:
+    def test_simple_triangle(self):
+        points = [(0.0, 0.0), (10.0, 0.0), (5.0, 5.0)]
+        assert lower_hull(points) == [(0.0, 0.0), (10.0, 0.0)]
+        assert upper_hull(points) == [(0.0, 0.0), (5.0, 5.0), (10.0, 0.0)]
+
+    def test_collinear_points_collapse(self):
+        points = [(0.0, 0.0), (1.0, 1.0), (2.0, 2.0)]
+        assert lower_hull(points) == [(0.0, 0.0), (2.0, 2.0)]
+
+    def test_needs_two_distinct_points(self):
+        with pytest.raises(ValueError):
+            lower_hull([(1.0, 1.0), (1.0, 1.0)])
+
+    def test_convex_hull_of_square(self):
+        square = [(0, 0), (0, 1), (1, 0), (1, 1), (0.5, 0.5)]
+        hull = convex_hull(square)
+        assert len(hull) == 4
+        assert (0.5, 0.5) not in hull
+
+    @given(st.lists(point_strategy, min_size=3, max_size=50, unique=True))
+    @settings(max_examples=100, deadline=None)
+    def test_lower_hull_below_all_points(self, points):
+        try:
+            hull = lower_hull(points)
+        except ValueError:
+            return  # fewer than two distinct points after dedup
+        if len(hull) < 2:
+            return
+        xs = [p[0] for p in hull]
+        for x, y in points:
+            if xs[0] <= x <= xs[-1]:
+                assert piecewise_interpolate(hull, x) <= y + 1e-6
+
+    @given(st.lists(point_strategy, min_size=3, max_size=50, unique=True))
+    @settings(max_examples=100, deadline=None)
+    def test_upper_hull_above_all_points(self, points):
+        try:
+            hull = upper_hull(points)
+        except ValueError:
+            return
+        if len(hull) < 2:
+            return
+        xs = [p[0] for p in hull]
+        for x, y in points:
+            if xs[0] <= x <= xs[-1]:
+                assert piecewise_interpolate(hull, x) >= y - 1e-6
+
+    @given(st.lists(point_strategy, min_size=3, max_size=30, unique=True))
+    @settings(max_examples=50, deadline=None)
+    def test_hull_vertices_are_input_points(self, points):
+        try:
+            hull = convex_hull(points)
+        except ValueError:
+            return
+        normalized = {(float(x), float(y)) for x, y in points}
+        for vertex in hull:
+            assert vertex in normalized
+
+
+class TestPiecewiseInterpolate:
+    def test_inside_segment(self):
+        hull = [(0.0, 0.0), (10.0, 20.0)]
+        assert piecewise_interpolate(hull, 5.0) == pytest.approx(10.0)
+
+    def test_extrapolates_left_and_right(self):
+        hull = [(0.0, 0.0), (10.0, 10.0)]
+        assert piecewise_interpolate(hull, -5.0) == pytest.approx(-5.0)
+        assert piecewise_interpolate(hull, 15.0) == pytest.approx(15.0)
+
+    def test_multi_segment(self):
+        hull = [(0.0, 0.0), (10.0, 5.0), (20.0, 30.0)]
+        assert piecewise_interpolate(hull, 15.0) == pytest.approx(17.5)
+
+    def test_rejects_short_hull(self):
+        with pytest.raises(ValueError):
+            piecewise_interpolate([(0.0, 0.0)], 1.0)
