@@ -12,8 +12,11 @@ proxy geolocation.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import Dict, List, Sequence, Tuple
 
+import numpy as np
+
+from ..geodesy.constants import BASELINE_SPEED_KM_PER_MS, MAX_SURFACE_DISTANCE_KM
 from .base import GeolocationAlgorithm, Prediction
 from .multilateration import DiskConstraint, intersect_disks
 from .observations import RttObservation
@@ -27,6 +30,55 @@ class CBG(GeolocationAlgorithm):
     #: Whether bestlines are constrained by the CBG++ slowline; plain CBG
     #: is not.
     apply_slowline = False
+
+    # -- vectorised radius computation ---------------------------------------
+
+    def _bestline_coefficients(self, names: Sequence[str]
+                               ) -> Tuple[np.ndarray, np.ndarray]:
+        """Stacked (slopes, intercepts) of the named landmarks' bestlines.
+
+        Cached per landmark panel: an audit re-measures the same landmark
+        sets for every server, and the per-observation Python loop over
+        calibration objects was a measurable slice of each prediction.
+        """
+        cache: Dict[tuple, Tuple[np.ndarray, np.ndarray]]
+        cache = self.__dict__.setdefault("_bestline_coef_cache", {})
+        key = tuple(names)
+        entry = cache.get(key)
+        if entry is None:
+            lines = [self.calibrations.cbg(
+                name, apply_slowline=self.apply_slowline).bestline
+                for name in names]
+            entry = (np.array([line.slope for line in lines]),
+                     np.array([line.intercept for line in lines]))
+            if len(cache) >= 64:
+                cache.pop(next(iter(cache)))
+            cache[key] = entry
+        return entry
+
+    def disk_radii_km(self, names: Sequence[str],
+                      one_way_ms: np.ndarray) -> np.ndarray:
+        """Bestline disk radii for a whole observation panel at once.
+
+        Identical, float-for-float, to calling
+        ``calibration.max_distance_km`` per landmark and applying the
+        grid floor.
+        """
+        if (one_way_ms < 0).any():
+            raise ValueError("negative delay in observations")
+        slopes, intercepts = self._bestline_coefficients(names)
+        radii = np.minimum(
+            np.maximum(0.0, (one_way_ms - intercepts) / slopes),
+            MAX_SURFACE_DISTANCE_KM)
+        return np.maximum(radii, self.min_disk_radius_km())
+
+    def baseline_radii_km(self, one_way_ms: np.ndarray) -> np.ndarray:
+        """Physical-baseline (200 km/ms) radii for a whole panel at once."""
+        if (one_way_ms < 0).any():
+            raise ValueError("negative delay in observations")
+        radii = np.minimum(one_way_ms * BASELINE_SPEED_KM_PER_MS,
+                           MAX_SURFACE_DISTANCE_KM)
+        return np.maximum(radii, self.min_disk_radius_km())
 
     def min_disk_radius_km(self) -> float:
         """Floor on disk radii: 1.5 analysis-grid cells.

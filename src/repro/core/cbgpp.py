@@ -57,42 +57,67 @@ class CBGPlusPlus(CBG):
 
     def predict(self, observations: Sequence[RttObservation]) -> Prediction:
         observations = self._prepare(observations)
-        bestline = self.disks(observations)       # slowline-constrained
-        baseline = self.baseline_disks(observations)
         grid = self.grid
+        names = [obs.landmark_name for obs in observations]
+        lats = [obs.lat for obs in observations]
+        lons = [obs.lon for obs in observations]
+        delays = np.array([obs.one_way_ms for obs in observations])
 
-        bestline_masks = [grid.disk_mask(d.lat, d.lon, d.radius_km)
-                          for d in bestline]
-        baseline_masks = [grid.disk_mask(d.lat, d.lon, d.radius_km)
-                          for d in baseline]
+        # Both disk families share centres — only radii differ — so one
+        # fused pass over the bank's block aggregates yields the AND of
+        # all baseline disks *and* the AND of all disks at once.
+        best_radii = self.disk_radii_km(names, delays).astype(np.float32)
+        base_radii = self.baseline_radii_km(delays).astype(np.float32)
+        joint_radii = np.minimum(base_radii, best_radii)
+        base_and, joint_and = grid.bank.disk_intersections(
+            lats, lons, np.stack([base_radii, joint_radii]))
 
         # Tier 1: the baseline region — largest consistent family of
-        # physically-maximal disks.
-        _, baseline_region_mask = largest_consistent_subset(baseline_masks)
+        # physically-maximal disks.  The plain AND answers the common
+        # consistent case; only conflicting baselines pay for the full
+        # subset search.
+        if base_and.any():
+            baseline_region_mask = base_and
+        else:
+            fields = grid.bank.field_block(lats, lons)
+            baseline_masks = fields <= base_radii[:, None]
+            _, baseline_region_mask = largest_consistent_subset(baseline_masks)
+            joint_and = None   # was relative to the unreduced baseline AND
 
         # Tier 2: drop bestline disks that do not overlap the baseline
         # region (they must be underestimates), then take the largest
-        # consistent family of the survivors.
-        surviving_indices = [i for i, mask in enumerate(bestline_masks)
-                             if (mask & baseline_region_mask).any()]
-        discarded = [bestline[i].landmark_name for i in range(len(bestline))
-                     if i not in surviving_indices]
-        if surviving_indices:
-            surviving_masks = [bestline_masks[i] for i in surviving_indices]
-            chosen_positions, final_mask = largest_consistent_subset(
-                surviving_masks, base_mask=baseline_region_mask)
-            chosen = [bestline[surviving_indices[p]].landmark_name
-                      for p in chosen_positions]
-            dropped_in_search = [
-                bestline[surviving_indices[p]].landmark_name
-                for p in range(len(surviving_indices))
-                if p not in chosen_positions]
-            discarded.extend(dropped_in_search)
+        # consistent family of the survivors.  When the joint AND is
+        # non-empty every bestline disk overlaps and all are mutually
+        # consistent — no search needed.
+        if joint_and is not None and joint_and.any():
+            final_mask = joint_and
+            chosen = list(names)
+            discarded: List[str] = []
         else:
-            # Every bestline disk was an underestimate; fall back to the
-            # baseline region itself.
-            final_mask = baseline_region_mask
-            chosen = []
+            baseline_cells = np.flatnonzero(baseline_region_mask)
+            fields = grid.bank.field_block(lats, lons)
+            sub_bestline = fields[:, baseline_cells] <= best_radii[:, None]
+            overlap = sub_bestline.any(axis=1)
+            surviving_indices = [i for i in range(len(names)) if overlap[i]]
+            discarded = [names[i]
+                         for i in range(len(names)) if not overlap[i]]
+            final_mask = np.zeros(grid.n_cells, dtype=bool)
+            if surviving_indices:
+                chosen_positions, final_sub_mask = largest_consistent_subset(
+                    sub_bestline[surviving_indices])
+                final_mask[baseline_cells[final_sub_mask]] = True
+                chosen = [names[surviving_indices[p]]
+                          for p in chosen_positions]
+                dropped_in_search = [
+                    names[surviving_indices[p]]
+                    for p in range(len(surviving_indices))
+                    if p not in chosen_positions]
+                discarded.extend(dropped_in_search)
+            else:
+                # Every bestline disk was an underestimate; fall back to
+                # the baseline region itself.
+                final_mask[baseline_cells] = True
+                chosen = []
 
         region = self._clip(Region(grid, final_mask))
         if region.is_empty and baseline_region_mask.any():

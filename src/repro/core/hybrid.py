@@ -41,8 +41,10 @@ class OctantSpotterHybrid(GeolocationAlgorithm):
 
     def predict(self, observations: Sequence[RttObservation]) -> Prediction:
         observations = self._prepare(observations)
-        masks = [self.grid.ring_mask(r.lat, r.lon, r.inner_km, r.outer_km)
-                 for r in self.rings(observations)]
+        rings = self.rings(observations)
+        masks = self.grid.bank.ring_masks(
+            [r.lat for r in rings], [r.lon for r in rings],
+            [r.inner_km for r in rings], [r.outer_km for r in rings])
         region = mode_region(self.grid, masks,
                              base_mask=self.worldmap.plausibility_mask)
         return Prediction(

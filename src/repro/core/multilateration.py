@@ -56,14 +56,22 @@ class GaussianRing:
 
 
 def intersect_disks(grid: Grid, disks: Sequence[DiskConstraint]) -> Region:
-    """Plain CBG multilateration: the AND of every disk."""
+    """Plain CBG multilateration: the AND of every disk.
+
+    Evaluated through the bank's block-level intersection kernel: whole
+    coarse blocks strictly inside (or outside) every disk are settled
+    from precomputed block aggregates, and only cells near some disk
+    boundary are compared exactly — bit-identical to rasterising each
+    disk over the full grid, at a fraction of the memory traffic.
+    """
     if not disks:
         raise ValueError("no disks to intersect")
-    mask = np.ones(grid.n_cells, dtype=bool)
-    for disk in disks:
-        mask &= grid.disk_mask(disk.lat, disk.lon, disk.radius_km)
-        if not mask.any():
-            break
+    lats = [d.lat for d in disks]
+    lons = [d.lon for d in disks]
+    radii = np.array([d.radius_km for d in disks], dtype=np.float32)
+    if (radii < 0).any():
+        raise ValueError("negative disk radius")
+    mask = grid.bank.disk_intersections(lats, lons, radii[None, :])[0]
     return Region(grid, mask)
 
 
@@ -71,12 +79,11 @@ def intersect_rings(grid: Grid, rings: Sequence[RingConstraint]) -> Region:
     """Quasi-Octant multilateration: the AND of every annulus."""
     if not rings:
         raise ValueError("no rings to intersect")
-    mask = np.ones(grid.n_cells, dtype=bool)
-    for ring in rings:
-        mask &= grid.ring_mask(ring.lat, ring.lon, ring.inner_km, ring.outer_km)
-        if not mask.any():
-            break
-    return Region(grid, mask)
+    bank = grid.bank
+    masks = bank.ring_masks(
+        [r.lat for r in rings], [r.lon for r in rings],
+        [r.inner_km for r in rings], [r.outer_km for r in rings])
+    return Region(grid, masks.all(axis=0))
 
 
 def mode_region(grid: Grid, masks: Sequence[np.ndarray],
@@ -90,11 +97,10 @@ def mode_region(grid: Grid, masks: Sequence[np.ndarray],
     are mutually consistent, but degrading gracefully (instead of to the
     empty set) when noise makes one ring miss.
     """
-    if not masks:
+    matrix = _as_mask_matrix(masks)
+    if matrix.shape[0] == 0:
         raise ValueError("no masks supplied")
-    votes = np.zeros(grid.n_cells, dtype=np.int32)
-    for mask in masks:
-        votes += mask
+    votes = matrix.sum(axis=0, dtype=np.int32)
     if base_mask is not None:
         votes[~base_mask] = 0
     top = int(votes.max())
@@ -103,8 +109,88 @@ def mode_region(grid: Grid, masks: Sequence[np.ndarray],
     return Region(grid, votes == top)
 
 
+def _as_mask_matrix(masks) -> np.ndarray:
+    """Normalise a sequence of boolean masks (or a 2-D matrix) to (k, n)."""
+    if len(masks) == 0:
+        raise ValueError("no masks supplied")
+    matrix = np.asarray(masks)
+    if matrix.ndim == 1:
+        matrix = matrix[None, :]
+    if matrix.ndim != 2:
+        raise ValueError(f"masks must be 1- or 2-dimensional, got {matrix.ndim}")
+    if matrix.dtype != np.bool_:
+        matrix = matrix.astype(bool)
+    return matrix
+
+
+def pack_mask_matrix(matrix: np.ndarray) -> np.ndarray:
+    """Pack boolean masks into rows of uint64 words (bitsets).
+
+    Padding bits beyond the mask length are zero, so word-level AND/any
+    on packed rows agrees exactly with the boolean operations.
+    """
+    matrix = _as_mask_matrix(matrix)
+    packed8 = np.packbits(matrix, axis=-1)
+    pad = (-packed8.shape[-1]) % 8
+    if pad:
+        packed8 = np.concatenate(
+            [packed8, np.zeros((packed8.shape[0], pad), dtype=np.uint8)],
+            axis=-1)
+    return np.ascontiguousarray(packed8).view(np.uint64)
+
+
+def unpack_mask_words(words: np.ndarray, n_bits: int) -> np.ndarray:
+    """Invert :func:`pack_mask_matrix` for a single packed row."""
+    return np.unpackbits(words.view(np.uint8), count=n_bits).astype(bool)
+
+
+def _dfs_improve(rows, order: List[int], best_count: int, n: int,
+                 budget: int) -> Optional[List[int]]:
+    """Branch-and-bound for a consistent subset strictly larger than
+    ``best_count``, over pre-restricted witness columns.
+
+    ``rows`` may be boolean rows or packed uint64 rows — only ``&`` and
+    ``.any()`` are used, so both engines traverse identically.  Returns
+    the best improving subset found, or ``None`` when the incumbent is
+    already maximum (or the node budget ran out before beating it).
+    """
+    best_indices: Optional[List[int]] = None
+    remaining_budget = [budget]
+    full = rows[0] | ~rows[0] if rows.dtype != np.bool_ else \
+        np.ones(rows.shape[1], dtype=bool)
+
+    def descend(position: int, current_mask, chosen: List[int]) -> None:
+        nonlocal best_count, best_indices
+        if remaining_budget[0] <= 0:
+            return
+        remaining_budget[0] -= 1
+        remaining = n - position
+        if len(chosen) + remaining <= best_count:
+            return  # cannot beat the incumbent
+        if position == n:
+            if len(chosen) > best_count:
+                best_count = len(chosen)
+                best_indices = list(chosen)
+            return
+        index = order[position]
+        candidate = current_mask & rows[index]
+        if candidate.any():
+            chosen.append(index)
+            descend(position + 1, candidate, chosen)
+            chosen.pop()
+        descend(position + 1, current_mask, chosen)
+
+    descend(0, full, [])
+    return best_indices
+
+
+#: DFS node budget for the subset search (see :func:`largest_consistent_subset`).
+SUBSET_SEARCH_BUDGET = 200_000
+
+
 def largest_consistent_subset(masks: Sequence[np.ndarray],
-                              base_mask: Optional[np.ndarray] = None
+                              base_mask: Optional[np.ndarray] = None,
+                              engine: str = "bitset"
                               ) -> Tuple[List[int], np.ndarray]:
     """The largest subset of masks whose AND (with ``base_mask``) is non-empty.
 
@@ -115,75 +201,91 @@ def largest_consistent_subset(masks: Sequence[np.ndarray],
     (b) cannot beat the best subset found so far.  The common case — all
     masks consistent — is answered immediately.
 
-    Ties are broken toward the smaller intersection area (more precise
-    prediction), matching the intuition that among equally large
-    consistent families the tightest is most informative.
+    Three layers keep the worst case cheap:
+
+    1. a greedy sweep (largest mask first) builds a strong incumbent;
+    2. a *witness-cell certificate* often proves it maximum outright: any
+       strictly larger family needs a cell covered by more masks than the
+       incumbent's size, so if no such cell exists the search is over;
+    3. otherwise the branch-and-bound runs with its masks restricted to
+       just those witness cells — a tiny fraction of the grid — which
+       preserves the maximum (every improving family keeps its witness)
+       while shrinking each AND in the search by orders of magnitude.
+
+    ``engine`` selects the inner-loop representation: ``"bitset"`` (the
+    default) packs masks into uint64 words, shrinking every AND/any by
+    ~8x in memory traffic; ``"bool"`` keeps plain boolean arrays.  Both
+    engines make identical include/exclude decisions and return identical
+    subsets and masks.
     """
-    n = len(masks)
+    matrix = _as_mask_matrix(masks)
+    n, n_bits = matrix.shape
     if n == 0:
         raise ValueError("no masks supplied")
     if base_mask is None:
-        base_mask = np.ones_like(masks[0], dtype=bool)
+        base_bool = np.ones(n_bits, dtype=bool)
+    else:
+        base_bool = np.asarray(base_mask)
+        if base_bool.dtype != np.bool_:
+            base_bool = base_bool.astype(bool)
+    if engine == "bitset":
+        rows: np.ndarray = pack_mask_matrix(matrix)
+        base = pack_mask_matrix(base_bool[None, :])[0]
+        sizes = np.bitwise_count(rows).sum(axis=1)
 
-    everything = base_mask.copy()
-    for mask in masks:
-        everything &= mask
+        def finish(mask_words: np.ndarray) -> np.ndarray:
+            return unpack_mask_words(mask_words, n_bits)
+    elif engine == "bool":
+        rows = matrix
+        base = base_bool.copy()
+        sizes = matrix.sum(axis=1)
+
+        def finish(mask: np.ndarray) -> np.ndarray:
+            return mask
+    else:
+        raise ValueError(f"unknown subset-search engine {engine!r}")
+
+    everything = base.copy()
+    for row in rows:
+        everything &= row
     if everything.any():
-        return list(range(n)), everything
+        return list(range(n)), finish(everything)
 
     # Order by size descending: large (permissive) disks first keeps the
     # running intersection non-empty longest, and puts the conflicting
     # underestimates at the end where pruning bites.
-    order = sorted(range(n), key=lambda i: -int(masks[i].sum()))
+    order = sorted(range(n), key=lambda i: -int(sizes[i]))
 
-    # Greedy incumbent: sweep once, keeping every mask that doesn't empty
-    # the intersection.  This is usually optimal or near-optimal and gives
-    # the branch-and-bound a strong bound from the start.
     greedy_indices: List[int] = []
-    greedy_mask = base_mask.copy()
+    greedy_mask = base.copy()
     for index in order:
-        candidate = greedy_mask & masks[index]
+        candidate = greedy_mask & rows[index]
         if candidate.any():
             greedy_mask = candidate
             greedy_indices.append(index)
-
-    best_indices = list(greedy_indices)
-    best_mask = greedy_mask
     best_count = len(greedy_indices)
-    if best_count == n:   # greedy kept everything (shouldn't happen here)
-        return sorted(best_indices), best_mask
 
-    # Exact search, budgeted: the DFS is exponential in the worst case, so
-    # it gets a node budget; on exhaustion the best-so-far (at worst the
-    # greedy solution) is returned.  The budget is generous for the ≤ ~50
-    # disks real measurements produce.
-    budget = [200_000]
+    # Witness-cell certificate: every consistent family of size s shares a
+    # cell covered by at least s masks, so improving on the greedy family
+    # needs a cell with more than ``best_count`` votes inside the base.
+    votes = np.zeros(n_bits, dtype=np.uint16)
+    for row_bool in matrix:
+        votes += row_bool
+    witness_cols = np.flatnonzero((votes > best_count) & base_bool)
+    if witness_cols.size == 0:
+        return sorted(greedy_indices), finish(greedy_mask)
 
-    def descend(position: int, current_mask: np.ndarray,
-                chosen: List[int]) -> None:
-        nonlocal best_indices, best_mask, best_count
-        if budget[0] <= 0:
-            return
-        budget[0] -= 1
-        remaining = n - position
-        if len(chosen) + remaining <= best_count:
-            return  # cannot beat the incumbent
-        if position == n:
-            if len(chosen) > best_count:
-                best_count = len(chosen)
-                best_indices = list(chosen)
-                best_mask = current_mask
-            return
-        index = order[position]
-        candidate = current_mask & masks[index]
-        if candidate.any():
-            chosen.append(index)
-            descend(position + 1, candidate, chosen)
-            chosen.pop()
-        descend(position + 1, current_mask, chosen)
-
-    descend(0, base_mask, [])
-    return sorted(best_indices), best_mask
+    restricted = matrix[:, witness_cols]
+    sub_rows = pack_mask_matrix(restricted) if engine == "bitset" \
+        else np.ascontiguousarray(restricted)
+    improved = _dfs_improve(sub_rows, order, best_count, n,
+                            SUBSET_SEARCH_BUDGET)
+    if improved is None:
+        return sorted(greedy_indices), finish(greedy_mask)
+    final = base.copy()
+    for index in improved:
+        final &= rows[index]
+    return sorted(improved), finish(final)
 
 
 def bayesian_region(grid: Grid, rings: Sequence[GaussianRing],
@@ -199,10 +301,9 @@ def bayesian_region(grid: Grid, rings: Sequence[GaussianRing],
         raise ValueError("no rings supplied")
     if not (0.0 < mass <= 1.0):
         raise ValueError(f"mass must be in (0, 1]: {mass!r}")
-    log_posterior = np.zeros(grid.n_cells, dtype=np.float64)
-    for ring in rings:
-        distances = grid.distances_from(ring.lat, ring.lon).astype(np.float64)
-        log_posterior -= ((distances - ring.mu_km) ** 2) / (2.0 * ring.sigma_km ** 2)
+    log_posterior = grid.bank.gaussian_log_likelihood(
+        [r.lat for r in rings], [r.lon for r in rings],
+        [r.mu_km for r in rings], [r.sigma_km for r in rings])
     if prior_mask is not None:
         log_posterior[~prior_mask] = -np.inf
     finite = np.isfinite(log_posterior)

@@ -50,9 +50,10 @@ def collect_eta_data(network: Network, client: Host,
             continue
         tunnel = ProxiedClient(network, client, proxy,
                                seed=proxy.host.host_id)
-        direct = min(tunnel.direct_ping_ms(rng) for _ in range(samples_per_proxy))
-        indirect = min(tunnel.self_ping_through_proxy_ms(rng)
-                       for _ in range(samples_per_proxy))
+        direct = float(network.rtt_samples_ms(
+            client, proxy.host, samples_per_proxy, rng).min())
+        indirect = float(tunnel.self_ping_through_proxy_samples_ms(
+            samples_per_proxy, rng).min())
         pairs.append((indirect, direct))
     return pairs
 
@@ -93,7 +94,7 @@ class ProxyMeasurer:
     #: error toward overestimation — which only widens the region, whereas
     #: under-estimation can make the region miss the proxy entirely (the
     #: paper's stated priority is never to do that).
-    CLIENT_LEG_SAFETY = 0.97
+    CLIENT_LEG_SAFETY = 0.95
 
     def __init__(self, network: Network, client: Host, proxy: ProxyServer,
                  eta: float = DEFAULT_ETA, seed: int = 0):
@@ -108,8 +109,8 @@ class ProxyMeasurer:
                       samples: int = 5) -> float:
         """Estimated client→proxy RTT: η × (best self-ping), scaled safe."""
         rng = rng if rng is not None else self._rng
-        self_ping = min(self.tunnel.self_ping_through_proxy_ms(rng)
-                        for _ in range(samples))
+        self_ping = float(self.tunnel.self_ping_through_proxy_samples_ms(
+            samples, rng).min())
         return self.CLIENT_LEG_SAFETY * self.eta * self_ping
 
     def observe(self, landmarks: Sequence[Landmark],
@@ -118,15 +119,15 @@ class ProxyMeasurer:
         """Measure every landmark through the tunnel and adapt the RTTs."""
         rng = rng if rng is not None else self._rng
         client_leg = self.client_leg_ms(rng)
-        observations: List[RttObservation] = []
-        for landmark in landmarks:
-            rtt = min(self.tunnel.rtt_through_proxy_ms(landmark, rng)
-                      for _ in range(samples_per_landmark))
-            adapted = max(rtt - client_leg, 2.0 * self.ONE_WAY_FLOOR_MS)
-            observations.append(RttObservation(
-                landmark_name=landmark.name,
-                lat=landmark.lat,
-                lon=landmark.lon,
-                one_way_ms=adapted / 2.0,
-            ))
-        return observations
+        if not landmarks:
+            return []
+        rtts = self.tunnel.rtt_through_proxy_matrix_ms(
+            landmarks, samples_per_landmark, rng)
+        adapted = np.maximum(rtts.min(axis=1) - client_leg,
+                             2.0 * self.ONE_WAY_FLOOR_MS)
+        return [RttObservation(
+            landmark_name=landmark.name,
+            lat=landmark.lat,
+            lon=landmark.lon,
+            one_way_ms=float(adapted[index]) / 2.0,
+        ) for index, landmark in enumerate(landmarks)]

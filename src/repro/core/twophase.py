@@ -50,6 +50,7 @@ class TwoPhaseSelector:
         self.anchors_per_continent = anchors_per_continent
         self.phase2_size = phase2_size
         self._rng = np.random.default_rng(seed)
+        self._pools: Dict[str, List[Landmark]] = {}
         self._continent_of: Dict[str, str] = {}
         topology = atlas.network.topology
         for lm in atlas.all_landmarks():
@@ -92,7 +93,13 @@ class TwoPhaseSelector:
                          ) -> List[Landmark]:
         """Random anchors + stable probes on the deduced continent."""
         rng = rng if rng is not None else self._rng
-        pool = self.atlas.landmarks_on_continent(continent)
+        pool = self._pools.get(continent)
+        if pool is None:
+            # The selector already snapshots landmark→continent at
+            # construction; snapshot the per-continent pools the same way
+            # instead of rescanning the constellation for every target.
+            pool = self.atlas.landmarks_on_continent(continent)
+            self._pools[continent] = pool
         if not pool:
             raise ValueError(f"no landmarks on continent {continent!r}")
         if len(pool) <= self.phase2_size:

@@ -8,17 +8,22 @@ verdicts with data-centre and metadata disambiguation.
 
 from __future__ import annotations
 
+import itertools
+import multiprocessing
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..core.assessment import Verdict, assess_claim
+from ..core.assessment import ClaimAssessment, Verdict, assess_claim
 from ..core.base import GeolocationAlgorithm
 from ..core.cbgpp import CBGPlusPlus
 from ..core.disambiguation import AuditRecord, refine_assessments
 from ..core.proxy_adapter import EtaEstimate, ProxyMeasurer, estimate_eta
 from ..core.twophase import TwoPhaseDriver, TwoPhaseSelector
+from ..geo.region import Region
 from ..netsim.proxies import ProxyServer
 from .scenario import Scenario
 
@@ -99,12 +104,106 @@ class AuditResult:
         }
 
 
+#: A worker's result for one server, cheap to pickle back to the parent:
+#: (fleet index, packed region mask, assessment, observations, landmarks).
+_ServerPayload = Tuple[int, bytes, ClaimAssessment, list, List[str]]
+
+#: Shared state for forked audit workers.  Set immediately before the
+#: pool is created so the fork snapshot carries it; the children read it,
+#: the parent clears it once the pool is done.
+_FORK_STATE: Optional[tuple] = None
+
+
+def _audit_one(scenario: Scenario, driver: TwoPhaseDriver,
+               server: ProxyServer, eta: EtaEstimate, seed: int):
+    """Locate one proxy and assess its claim.
+
+    The measurement stream is keyed by ``(seed, host_id)`` — independent
+    of fleet order and of which process runs the server — which is what
+    makes serial and parallel audits bit-identical.
+    """
+    rng = np.random.default_rng((seed, server.host.host_id))
+    measurer = ProxyMeasurer(scenario.network, scenario.client, server,
+                             eta=eta.eta, seed=server.host.host_id)
+    result = driver.locate(measurer.observe, rng)
+    assessment = assess_claim(result.prediction.region,
+                              server.claimed_country, scenario.worldmap)
+    return result, assessment
+
+
+def _record_from(server: ProxyServer, region: Region,
+                 assessment: ClaimAssessment, observations: list,
+                 landmark_names: List[str]) -> AuditRecord:
+    return AuditRecord(
+        server=server,
+        region=region,
+        assessment=assessment,
+        initial_verdict=assessment.verdict,
+        observations=observations,
+        landmark_names=landmark_names,
+    )
+
+
+def _fork_worker(indices: List[int]) -> List[_ServerPayload]:
+    scenario, driver, servers, eta, seed = _FORK_STATE
+    payloads: List[_ServerPayload] = []
+    for index in indices:
+        server = servers[index]
+        result, assessment = _audit_one(scenario, driver, server, eta, seed)
+        payloads.append((
+            index,
+            np.packbits(result.prediction.region.mask).tobytes(),
+            assessment,
+            (list(result.phase2_observations)
+             + list(result.phase1_observations)),
+            list(result.phase2_landmarks),
+        ))
+    return payloads
+
+
+def _parallel_records(scenario: Scenario, driver: TwoPhaseDriver,
+                      servers: List[ProxyServer], eta: EtaEstimate,
+                      seed: int, workers: int) -> List[AuditRecord]:
+    """Fan the per-server audits over forked worker processes.
+
+    Fork (not spawn) is required: the children inherit the scenario —
+    topology, shortest-path caches, the grid's distance bank — as
+    copy-on-write pages instead of re-pickling hundreds of megabytes.
+    Each worker ships back only a packed region mask plus the small
+    assessment/observation records; the parent rebuilds full
+    :class:`AuditRecord` objects in fleet order, so the result is
+    indistinguishable from a serial run.
+    """
+    global _FORK_STATE
+    grid = driver.algorithm.grid
+    context = multiprocessing.get_context("fork")
+    chunks = [list(range(worker, len(servers), workers))
+              for worker in range(workers)]
+    _FORK_STATE = (scenario, driver, servers, eta, seed)
+    try:
+        with ProcessPoolExecutor(max_workers=workers,
+                                 mp_context=context) as pool:
+            results = list(pool.map(_fork_worker, chunks))
+    finally:
+        _FORK_STATE = None
+
+    by_index: Dict[int, AuditRecord] = {}
+    for payloads in results:
+        for index, packed, assessment, observations, names in payloads:
+            mask = np.unpackbits(np.frombuffer(packed, dtype=np.uint8),
+                                 count=grid.n_cells).astype(bool)
+            by_index[index] = _record_from(servers[index], Region(grid, mask),
+                                           assessment, observations, names)
+    return [by_index[index] for index in range(len(servers))]
+
+
 def run_audit(scenario: Scenario,
               algorithm: Optional[GeolocationAlgorithm] = None,
               servers: Optional[Sequence[ProxyServer]] = None,
               max_servers: Optional[int] = None,
               seed: int = 0,
-              disambiguate: bool = True) -> AuditResult:
+              disambiguate: bool = True,
+              workers: int = 1) -> AuditResult:
     """Audit a proxy fleet end to end.
 
     Parameters
@@ -114,6 +213,12 @@ def run_audit(scenario: Scenario,
     servers:
         Defaults to the scenario's entire fleet; ``max_servers`` truncates
         (deterministically, in fleet order) for quick runs.
+    workers:
+        Number of audit processes.  Per-server measurement noise is keyed
+        by ``(seed, host_id)``, so any worker count — including 1 —
+        produces bit-identical records; parallelism only changes
+        wall-clock time.  Falls back to serial where ``fork`` is
+        unavailable.
     """
     rng = np.random.default_rng(seed)
     if algorithm is None:
@@ -122,28 +227,28 @@ def run_audit(scenario: Scenario,
         servers = scenario.all_servers()
     if max_servers is not None:
         servers = list(servers)[:max_servers]
+    servers = list(servers)
 
     eta = estimate_eta(scenario.network, scenario.client,
                        scenario.all_servers(), rng)
     selector = TwoPhaseSelector(scenario.atlas, seed=seed)
     driver = TwoPhaseDriver(selector, algorithm)
 
-    records: List[AuditRecord] = []
-    for server in servers:
-        measurer = ProxyMeasurer(scenario.network, scenario.client, server,
-                                 eta=eta.eta, seed=server.host.host_id)
-        result = driver.locate(measurer.observe, rng)
-        assessment = assess_claim(result.prediction.region,
-                                  server.claimed_country, scenario.worldmap)
-        records.append(AuditRecord(
-            server=server,
-            region=result.prediction.region,
-            assessment=assessment,
-            initial_verdict=assessment.verdict,
-            observations=(list(result.phase2_observations)
-                          + list(result.phase1_observations)),
-            landmark_names=list(result.phase2_landmarks),
-        ))
+    use_fork = (workers > 1 and len(servers) > 1
+                and "fork" in multiprocessing.get_all_start_methods())
+    if use_fork:
+        records = _parallel_records(scenario, driver, servers, eta, seed,
+                                    min(workers, len(servers)))
+    else:
+        records = []
+        for server in servers:
+            result, assessment = _audit_one(scenario, driver, server, eta,
+                                            seed)
+            records.append(_record_from(
+                server, result.prediction.region, assessment,
+                (list(result.phase2_observations)
+                 + list(result.phase1_observations)),
+                list(result.phase2_landmarks)))
 
     reclassified: Dict[str, int] = {"datacenter": 0, "metadata": 0, "total": 0}
     if disambiguate:
@@ -152,7 +257,24 @@ def run_audit(scenario: Scenario,
     return AuditResult(records=records, eta=eta, reclassified=reclassified)
 
 
-_AUDIT_CACHE: Dict[tuple, AuditResult] = {}
+_AUDIT_CACHE: "OrderedDict[tuple, AuditResult]" = OrderedDict()
+_AUDIT_CACHE_SLOTS = 8
+_scenario_tokens = itertools.count()
+
+
+def _scenario_token(scenario: Scenario) -> int:
+    """A stable identity token for a scenario object.
+
+    ``id()`` is unusable as a cache key: after a scenario is garbage
+    collected a *different* scenario can be allocated at the same address
+    and silently inherit the old audit.  The token lives on the object,
+    so it dies with it.
+    """
+    token = getattr(scenario, "_audit_cache_token", None)
+    if token is None:
+        token = next(_scenario_tokens)
+        scenario._audit_cache_token = token
+    return token
 
 
 def cached_audit(scenario: Scenario, max_servers: Optional[int] = None,
@@ -160,10 +282,17 @@ def cached_audit(scenario: Scenario, max_servers: Optional[int] = None,
     """Memoised full-fleet audit, shared by the figure experiments.
 
     Figures 16 through 23 all consume the same audit run; recomputing it
-    per figure would dominate the benchmark harness.
+    per figure would dominate the benchmark harness.  Bounded LRU: the
+    oldest audit is dropped once ``_AUDIT_CACHE_SLOTS`` distinct
+    (scenario, max_servers, seed) combinations have been seen.
     """
-    key = (id(scenario), max_servers, seed)
-    if key not in _AUDIT_CACHE:
-        _AUDIT_CACHE[key] = run_audit(scenario, max_servers=max_servers,
-                                      seed=seed)
-    return _AUDIT_CACHE[key]
+    key = (_scenario_token(scenario), max_servers, seed)
+    result = _AUDIT_CACHE.get(key)
+    if result is None:
+        result = run_audit(scenario, max_servers=max_servers, seed=seed)
+        while len(_AUDIT_CACHE) >= _AUDIT_CACHE_SLOTS:
+            _AUDIT_CACHE.popitem(last=False)
+        _AUDIT_CACHE[key] = result
+    else:
+        _AUDIT_CACHE.move_to_end(key)
+    return result

@@ -5,6 +5,7 @@ the Wisconsin Internet Atlas data-centre list the paper used.  See
 DESIGN.md for the substitution rationale.
 """
 
+from .bank import DistanceBank
 from .countries import CONTINENT_NAMES, CONTINENTS, Country, CountryRegistry
 from .datacenters import DataCenter, DataCenterRegistry
 from .grid import Grid
@@ -18,6 +19,7 @@ __all__ = [
     "CountryRegistry",
     "DataCenter",
     "DataCenterRegistry",
+    "DistanceBank",
     "Grid",
     "OCEAN",
     "Region",

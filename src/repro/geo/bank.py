@@ -1,0 +1,369 @@
+"""DistanceBank: a contiguous bank of landmark→cell distance fields.
+
+Every multilateration primitive reduces to comparisons against the
+great-circle distance from some landmark to every cell of the analysis
+grid.  The bank stores those distance fields as rows of one contiguous
+``(n_points, n_cells)`` float32 matrix, so that
+
+* a whole constraint set becomes a single broadcasted comparison
+  (``fields <= radii[:, None]``) instead of a Python loop of per-landmark
+  mask calls,
+* missing fields for a batch of points are computed in **one** vectorised
+  haversine sweep rather than one sweep per point,
+* a forked audit worker inherits the parent's fully-warmed matrix as
+  copy-on-write pages, giving the process pool shared, zero-copy access
+  to the heaviest data structure in the pipeline.
+
+Rows are keyed by rounded ``(lat, lon)`` exactly like the old per-point
+LRU cache, so the bank returns bit-identical distance values — it changes
+how fields are stored and batched, never what they contain.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..geodesy.greatcircle import haversine_km_vec, validate_latlon
+
+#: Decimal places used to key a coordinate (matches the old grid LRU).
+_KEY_DECIMALS = 5
+
+
+def _key(lat: float, lon: float) -> Tuple[float, float]:
+    return (round(float(lat), _KEY_DECIMALS), round(float(lon), _KEY_DECIMALS))
+
+
+class DistanceBank:
+    """Precomputed distance fields for a :class:`~repro.geo.grid.Grid`.
+
+    Parameters
+    ----------
+    grid:
+        The analysis grid whose cell centres the fields are measured to.
+    max_points:
+        Soft bound on stored rows.  When exceeded, the oldest half of the
+        bank is evicted (landmarks recur heavily, so in practice a fleet
+        audit never evicts).
+    """
+
+    #: Preferred block edge lengths (in cells) for the coarse aggregates,
+    #: best first.  The first one dividing both grid dimensions wins.
+    _BLOCK_SIDES = (10, 12, 9, 6, 8, 5, 4, 3, 2)
+
+    def __init__(self, grid, max_points: int = 512):
+        if max_points < 2:
+            raise ValueError(f"max_points too small: {max_points!r}")
+        self.grid = grid
+        self.max_points = int(max_points)
+        self._row_of: Dict[Tuple[float, float], int] = {}
+        self._fields = np.empty((0, grid.n_cells), dtype=np.float32)
+        self._views: List[np.ndarray] = []
+        self._block_cache: Dict[Tuple[int, ...], np.ndarray] = {}
+        # Coarse per-block min/max of every field row: the disk
+        # intersection kernel classifies whole blocks as inside/outside
+        # and only inspects cells where a disk boundary actually passes.
+        self._block_side = next(
+            (side for side in self._BLOCK_SIDES
+             if grid.n_lat % side == 0 and grid.n_lon % side == 0), None)
+        if self._block_side:
+            self._n_blocks = (grid.n_lat // self._block_side) * \
+                (grid.n_lon // self._block_side)
+        else:
+            self._n_blocks = 0
+        self._block_min = np.empty((0, self._n_blocks), dtype=np.float32)
+        self._block_max = np.empty((0, self._n_blocks), dtype=np.float32)
+        self._block_cells: Optional[np.ndarray] = None
+        self._rows_memo: Dict[tuple, np.ndarray] = {}
+
+    # -- storage -------------------------------------------------------------
+
+    @property
+    def n_points(self) -> int:
+        """Number of distance fields currently stored."""
+        return len(self._views)
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes held by the field matrix (capacity, not just live rows)."""
+        return self._fields.nbytes
+
+    def _grow(self, extra: int) -> None:
+        needed = self.n_points + extra
+        capacity = self._fields.shape[0]
+        if needed <= capacity:
+            return
+        # Doubling growth, clamped at max_points: eviction keeps live rows
+        # under the bound, so capacity beyond it would never be reached.
+        new_capacity = max(needed, min(max(8, capacity * 2), self.max_points))
+        grown = np.empty((new_capacity, self.grid.n_cells), dtype=np.float32)
+        grown[:self.n_points] = self._fields[:self.n_points]
+        self._fields = grown
+        self._views = [self._fields[i] for i in range(self.n_points)]
+        if self._block_side:
+            for name in ("_block_min", "_block_max"):
+                old = getattr(self, name)
+                fresh = np.empty((new_capacity, self._n_blocks), dtype=np.float32)
+                fresh[:self.n_points] = old[:self.n_points]
+                setattr(self, name, fresh)
+
+    def _evict_oldest_half(self) -> None:
+        keep = self.n_points // 2
+        survivors = sorted(self._row_of.items(), key=lambda kv: kv[1])[-keep:]
+        compacted = np.empty_like(self._fields)
+        self._row_of = {}
+        old_rows = [old_row for _, old_row in survivors]
+        for new_row, (key, old_row) in enumerate(survivors):
+            compacted[new_row] = self._fields[old_row]
+            self._row_of[key] = new_row
+        self._fields = compacted
+        self._views = [self._fields[i] for i in range(keep)]
+        if self._block_side:
+            for name in ("_block_min", "_block_max"):
+                old = getattr(self, name)
+                fresh = np.empty_like(old)
+                fresh[:keep] = old[old_rows]
+                setattr(self, name, fresh)
+        # Row numbers changed; keyed caches are stale.
+        self._block_cache.clear()
+        self._rows_memo.clear()
+
+    def _blockify(self, start: int, stop: int) -> None:
+        """(Re)compute the coarse block aggregates for rows [start, stop)."""
+        if not self._block_side or stop <= start:
+            return
+        side = self._block_side
+        shaped = self._fields[start:stop].reshape(
+            stop - start, self.grid.n_lat // side, side,
+            self.grid.n_lon // side, side)
+        self._block_min[start:stop] = shaped.min(axis=(2, 4)).reshape(
+            stop - start, self._n_blocks)
+        self._block_max[start:stop] = shaped.max(axis=(2, 4)).reshape(
+            stop - start, self._n_blocks)
+
+    def _cells_of_blocks(self, blocks: np.ndarray) -> np.ndarray:
+        """Flat cell indices covered by the given block indices."""
+        if self._block_cells is None:
+            side = self._block_side
+            n_blat = self.grid.n_lat // side
+            n_blon = self.grid.n_lon // side
+            cells = np.arange(self.grid.n_cells, dtype=np.int64).reshape(
+                n_blat, side, n_blon, side)
+            # (block_lat, block_lon, side, side) -> one row per block
+            self._block_cells = np.ascontiguousarray(
+                cells.transpose(0, 2, 1, 3)).reshape(
+                self._n_blocks, side * side)
+        return self._block_cells[blocks].ravel()
+
+    def rows(self, lats: Sequence[float], lons: Sequence[float]) -> np.ndarray:
+        """Row indices for a batch of points, computing any missing fields.
+
+        All missing points are filled with a single broadcasted haversine
+        sweep — the batched equivalent of the old one-point-at-a-time
+        cache fill.
+        """
+        memo_key = None
+        if type(lats) is list and type(lons) is list:
+            # The hot callers re-resolve the same landmark panel on every
+            # prediction; short-circuit the per-point keying for them.
+            memo_key = (tuple(lats), tuple(lons))
+            memoised = self._rows_memo.get(memo_key)
+            if memoised is not None:
+                return memoised
+        lats = np.atleast_1d(np.asarray(lats, dtype=float))
+        lons = np.atleast_1d(np.asarray(lons, dtype=float))
+        if lats.shape != lons.shape:
+            raise ValueError("lats and lons must have matching shapes")
+        keys = [_key(lat, lon) for lat, lon in zip(lats, lons)]
+        missing: Dict[Tuple[float, float], int] = {}
+        for position, key in enumerate(keys):
+            if key not in self._row_of and key not in missing:
+                validate_latlon(float(lats[position]), float(lons[position]))
+                missing[key] = position
+        if missing:
+            if self.n_points + len(missing) > self.max_points:
+                self._evict_oldest_half()
+                # Eviction may have dropped keys that were still present
+                # when the batch was scanned above — rescan so they are
+                # refilled rather than looked up as stale rows.
+                missing = {}
+                for position, key in enumerate(keys):
+                    if key not in self._row_of and key not in missing:
+                        missing[key] = position
+            self._grow(len(missing))
+            positions = list(missing.values())
+            fresh = haversine_km_vec(
+                lats[positions][:, None], lons[positions][:, None],
+                self.grid.cell_lats[None, :], self.grid.cell_lons[None, :],
+            ).astype(np.float32)
+            base = self.n_points
+            self._fields[base:base + len(positions)] = fresh
+            for offset, key in enumerate(missing):
+                row = base + offset
+                self._row_of[key] = row
+                self._views.append(self._fields[row])
+            self._blockify(base, base + len(positions))
+        resolved = np.array([self._row_of[key] for key in keys], dtype=np.intp)
+        if memo_key is not None:
+            if len(self._rows_memo) >= 32:
+                self._rows_memo.pop(next(iter(self._rows_memo)))
+            self._rows_memo[memo_key] = resolved
+        return resolved
+
+    def warm(self, points: Sequence[Tuple[float, float]]) -> None:
+        """Precompute fields for many points (e.g. a whole constellation).
+
+        Called before forking audit workers so every child inherits the
+        full bank as shared copy-on-write memory.
+        """
+        if not points:
+            return
+        lats = [p[0] for p in points]
+        lons = [p[1] for p in points]
+        self.rows(lats, lons)
+
+    # -- field access --------------------------------------------------------
+
+    def field(self, lat: float, lon: float) -> np.ndarray:
+        """The distance field of one point (a shared row — read-only)."""
+        row = int(self.rows([lat], [lon])[0])
+        return self._views[row]
+
+    def field_block(self, lats: Sequence[float], lons: Sequence[float]
+                    ) -> np.ndarray:
+        """A ``(k, n_cells)`` float32 block of distance fields.
+
+        Returns a zero-copy slice when the rows happen to be contiguous
+        (the common case right after a batch fill); a gather otherwise.
+        Treat the result as read-only.
+        """
+        rows = self.rows(lats, lons)
+        if len(rows) > 0:
+            start, stop = int(rows[0]), int(rows[-1]) + 1
+            if stop - start == len(rows) and np.array_equal(
+                    rows, np.arange(start, stop)):
+                return self._fields[start:stop]
+        key = tuple(int(r) for r in rows)
+        cached = self._block_cache.get(key)
+        if cached is None:
+            if len(self._block_cache) >= 6:   # a handful of landmark panels
+                self._block_cache.pop(next(iter(self._block_cache)))
+            cached = self._fields[rows]
+            self._block_cache[key] = cached
+        return cached
+
+    # -- batched mask kernels ------------------------------------------------
+
+    def disk_masks(self, lats: Sequence[float], lons: Sequence[float],
+                   radii: Sequence[float],
+                   columns: Optional[np.ndarray] = None) -> np.ndarray:
+        """Boolean ``(k, n_cells)`` matrix of per-landmark disk masks.
+
+        ``columns`` restricts the evaluation to a subset of grid cells
+        (returning ``(k, len(columns))``), which is exact for any purely
+        intersective downstream use.
+        """
+        radii = np.asarray(radii, dtype=np.float32)
+        if (radii < 0).any():
+            raise ValueError("negative disk radius")
+        block = self.field_block(lats, lons)
+        if columns is not None:
+            block = block[:, columns]
+        return block <= radii[:, None]
+
+    def disk_intersections(self, lats: Sequence[float], lons: Sequence[float],
+                           radii_families: Sequence[Sequence[float]]
+                           ) -> np.ndarray:
+        """AND of per-landmark disks, for one or more radius families.
+
+        ``radii_families`` is an ``(m, k)`` matrix: each row gives one
+        radius per landmark, and the result row ``f`` is the boolean mask
+        ``AND_i (distance_i <= radii_families[f, i])`` over all cells.
+        The families share one pass over the coarse block aggregates —
+        whole blocks strictly inside (or outside) every disk are settled
+        without touching cell-level data, and only cells of blocks crossed
+        by some disk boundary are compared exactly.  Results are
+        bit-identical to the naive broadcasted comparison.
+        """
+        radii = np.asarray(radii_families, dtype=np.float32)
+        if radii.ndim == 1:
+            radii = radii[None, :]
+        if (radii < 0).any():
+            raise ValueError("negative disk radius")
+        n_families, n_disks = radii.shape
+        rows = self.rows(lats, lons)
+        if n_disks != len(rows):
+            raise ValueError("radii and points disagree in length")
+        n_cells = self.grid.n_cells
+        out = np.zeros((n_families, n_cells), dtype=bool)
+        if not self._block_side:
+            # Grid indivisible into blocks: plain full-width evaluation.
+            block = self.field_block(lats, lons)
+            for f in range(n_families):
+                acc = block[0] <= radii[f, 0]
+                for i in range(1, n_disks):
+                    acc &= block[i] <= radii[f, i]
+                out[f] = acc
+            return out
+        side = self._block_side
+        block_max = self._block_max[rows]          # (k, n_blocks) — small
+        block_min = self._block_min[rows]
+        shape4 = (self.grid.n_lat // side, 1, self.grid.n_lon // side, 1)
+        for f in range(n_families):
+            family_radii = radii[f][:, None]
+            inside = (block_max <= family_radii).all(axis=0)
+            maybe = (block_min <= family_radii).all(axis=0)
+            out[f].reshape(self.grid.n_lat // side, side,
+                           self.grid.n_lon // side, side)[:] = \
+                inside.reshape(shape4)
+            edge_blocks = np.flatnonzero(maybe & ~inside)
+            if not edge_blocks.size:
+                continue
+            # Disks covering every edge block entirely cannot change the
+            # verdict; only disks whose boundary crosses one of them can.
+            uncertain = np.flatnonzero(
+                (block_max[:, edge_blocks] > family_radii).any(axis=1))
+            cells = self._cells_of_blocks(edge_blocks)
+            verdict = np.ones(cells.size, dtype=bool)
+            for i in uncertain:
+                verdict &= self._fields[rows[i]][cells] <= radii[f, i]
+            out[f][cells] = verdict
+        return out
+
+    def ring_masks(self, lats: Sequence[float], lons: Sequence[float],
+                   inner: Sequence[float], outer: Sequence[float],
+                   columns: Optional[np.ndarray] = None) -> np.ndarray:
+        """Boolean ``(k, n_cells)`` matrix of per-landmark annulus masks."""
+        inner = np.asarray(inner, dtype=np.float32)
+        outer = np.asarray(outer, dtype=np.float32)
+        if (inner < 0).any() or (outer < inner).any():
+            raise ValueError("bad ring radii")
+        block = self.field_block(lats, lons)
+        if columns is not None:
+            block = block[:, columns]
+        return (block >= inner[:, None]) & (block <= outer[:, None])
+
+    def gaussian_log_likelihood(self, lats: Sequence[float],
+                                lons: Sequence[float],
+                                mu: Sequence[float], sigma: Sequence[float],
+                                columns: Optional[np.ndarray] = None
+                                ) -> np.ndarray:
+        """Summed Gaussian ring log-likelihood over the grid.
+
+        Accumulates landmark by landmark in float64, preserving the exact
+        addition order (and therefore the exact rounding) of the scalar
+        implementation it replaces.
+        """
+        mu = np.asarray(mu, dtype=np.float64)
+        sigma = np.asarray(sigma, dtype=np.float64)
+        if (sigma <= 0).any():
+            raise ValueError("sigma must be positive")
+        block = self.field_block(lats, lons)
+        if columns is not None:
+            block = block[:, columns]
+        log_likelihood = np.zeros(block.shape[1], dtype=np.float64)
+        for i in range(block.shape[0]):
+            distances = block[i].astype(np.float64)
+            log_likelihood -= ((distances - mu[i]) ** 2) / (2.0 * sigma[i] ** 2)
+        return log_likelihood

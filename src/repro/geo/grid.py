@@ -6,21 +6,22 @@ represented as boolean masks over this grid.  Cell areas carry the
 cells are equal-angle rather than equal-area.
 
 A :class:`Grid` also memoises per-point distance fields (the great-circle
-distance from a point to every cell centre).  Landmarks are reused across
+distance from a point to every cell centre), delegated to a per-grid
+:class:`~repro.geo.bank.DistanceBank`.  Landmarks are reused across
 hundreds of targets, so this cache is the difference between seconds and
-hours for a full proxy audit.
+hours for a full proxy audit — and the bank's contiguous layout is what
+the batched mask kernels and forked audit workers build on.
 """
 
 from __future__ import annotations
 
 import math
-from collections import OrderedDict
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
 from ..geodesy.constants import EARTH_RADIUS_KM
-from ..geodesy.greatcircle import haversine_km_vec, validate_latlon
+from ..geodesy.greatcircle import normalize_lon, validate_latlon
 
 
 class Grid:
@@ -34,7 +35,12 @@ class Grid:
         cell count for finer area estimates.
     """
 
-    _DISTANCE_CACHE_SLOTS = 512
+    #: Soft bound on distance fields held by the per-grid bank.  Sized to
+    #: hold a full RIPE-Atlas-scale constellation (~1100 landmarks, ~290 MB
+    #: at 1° resolution): a fleet audit's working set is the whole
+    #: landmark universe, and an undersized bank thrashes its eviction
+    #: path on every prediction.
+    _DISTANCE_CACHE_SLOTS = 1280
 
     def __init__(self, resolution_deg: float = 1.0):
         if not (0.05 <= resolution_deg <= 10.0):
@@ -55,7 +61,23 @@ class Grid:
         self.cell_areas_km2 = (
             EARTH_RADIUS_KM ** 2 * res_rad * res_rad * np.cos(np.radians(self.cell_lats))
         )
-        self._distance_cache: "OrderedDict[Tuple[float, float], np.ndarray]" = OrderedDict()
+        self._bank: Optional["DistanceBank"] = None
+
+    @property
+    def bank(self) -> "DistanceBank":
+        """The grid's :class:`~repro.geo.bank.DistanceBank` (lazily built)."""
+        if self._bank is None:
+            from .bank import DistanceBank
+            self._bank = DistanceBank(self, max_points=self._DISTANCE_CACHE_SLOTS)
+        return self._bank
+
+    def __getstate__(self):
+        # The bank can hold hundreds of MB of recomputable distance
+        # fields; never ship it inside a pickle (parallel audit workers
+        # share it through fork instead).
+        state = self.__dict__.copy()
+        state["_bank"] = None
+        return state
 
     @property
     def n_cells(self) -> int:
@@ -64,8 +86,7 @@ class Grid:
     def cell_index(self, lat: float, lon: float) -> int:
         """Index of the cell containing ``(lat, lon)``."""
         validate_latlon(lat, lon)
-        if lon >= 180.0:
-            lon -= 360.0
+        lon = normalize_lon(lon)
         row = min(int((lat + 90.0) / self.resolution_deg), self.n_lat - 1)
         col = min(int((lon + 180.0) / self.resolution_deg), self.n_lon - 1)
         return row * self.n_lon + col
@@ -79,20 +100,11 @@ class Grid:
     def distances_from(self, lat: float, lon: float) -> np.ndarray:
         """Great-circle distance (km) from a point to every cell centre.
 
-        Results are memoised (LRU) because landmarks recur across targets.
-        The returned array is shared — treat it as read-only.
+        Results are memoised in the grid's :class:`DistanceBank` because
+        landmarks recur across targets.  The returned array is shared —
+        treat it as read-only.
         """
-        validate_latlon(lat, lon)
-        key = (round(lat, 5), round(lon, 5))
-        cached = self._distance_cache.get(key)
-        if cached is not None:
-            self._distance_cache.move_to_end(key)
-            return cached
-        distances = haversine_km_vec(lat, lon, self.cell_lats, self.cell_lons).astype(np.float32)
-        self._distance_cache[key] = distances
-        if len(self._distance_cache) > self._DISTANCE_CACHE_SLOTS:
-            self._distance_cache.popitem(last=False)
-        return distances
+        return self.bank.field(lat, lon)
 
     def disk_mask(self, lat: float, lon: float, radius_km: float) -> np.ndarray:
         """Boolean mask of cells within ``radius_km`` of the point."""

@@ -160,17 +160,17 @@ class WorldMap:
 
     def countries_covered(self, region: Region) -> List[str]:
         """ISO-2 codes of all countries the region overlaps, sorted by area overlap."""
-        indices = self.country_raster[region.mask]
-        indices = indices[indices != OCEAN]
-        if len(indices) == 0:
+        cells = np.flatnonzero(region.mask)
+        owners = self.country_raster[cells]
+        land = owners != OCEAN
+        if not land.any():
             return []
-        areas = region.grid.cell_areas_km2[region.mask][
-            self.country_raster[region.mask] != OCEAN]
-        totals: Dict[int, float] = {}
-        for idx, area in zip(indices, areas):
-            totals[int(idx)] = totals.get(int(idx), 0.0) + float(area)
-        ordered = sorted(totals.items(), key=lambda item: -item[1])
-        return [self._countries[idx].iso2 for idx, _ in ordered]
+        totals = np.bincount(owners[land].astype(np.intp),
+                             weights=self.grid.cell_areas_km2[cells][land],
+                             minlength=len(self._countries))
+        covered = np.flatnonzero(totals > 0)
+        ordered = covered[np.argsort(-totals[covered], kind="stable")]
+        return [self._countries[int(idx)].iso2 for idx in ordered]
 
     def continents_covered(self, region: Region) -> List[str]:
         """Continent codes the region overlaps, most-covered first."""
@@ -197,10 +197,18 @@ class WorldMap:
         region_lons = self.grid.cell_lons[region.mask]
         country_lats = self.grid.cell_lats[country_mask]
         country_lons = self.grid.cell_lons[country_mask]
-        distances = haversine_km_vec(
-            region_lats[:, None], region_lons[:, None],
-            country_lats[None, :], country_lons[None, :])
-        return float(distances.min())
+        # Chunk the pairwise sweep: a continent-sized region against a
+        # large country would otherwise materialise a multi-hundred-MB
+        # distance matrix in one piece.
+        best = float("inf")
+        chunk = max(1, 4_000_000 // max(1, len(country_lats)))
+        for start in range(0, len(region_lats), chunk):
+            distances = haversine_km_vec(
+                region_lats[start:start + chunk][:, None],
+                region_lons[start:start + chunk][:, None],
+                country_lats[None, :], country_lons[None, :])
+            best = min(best, float(distances.min()))
+        return best
 
     def covers_country(self, region: Region, iso2: str) -> bool:
         """Does the region overlap any cell of the country?"""

@@ -11,7 +11,7 @@ because routes are circuitous.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, Optional, Sequence
 
 import networkx as nx
 import numpy as np
@@ -60,14 +60,17 @@ class Network:
         if a == b:
             return 0.0
         self._check_version()
-        distances = self._sssp_cache.get(a)
-        if distances is None and b in self._sssp_cache:
-            a, b = b, a
-            distances = self._sssp_cache[a]
+        # Always resolve from the canonically-smaller endpoint.  The two
+        # directions sum the same path in opposite orders and can differ
+        # in the last ulp; choosing by whichever tree happens to be cached
+        # would make measured RTTs depend on cache history, breaking the
+        # serial == parallel bit-identity of audits.
+        source, target = (a, b) if a <= b else (b, a)
+        distances = self._sssp_cache.get(source)
         if distances is None:
-            distances = self._distances_from(a)
+            distances = self._distances_from(source)
         try:
-            return float(distances[b])
+            return float(distances[target])
         except KeyError:
             raise Unreachable(f"no path between {a!r} and {b!r}") from None
 
@@ -118,13 +121,51 @@ class Network:
 
     def rtt_samples_ms(self, a: Host, b: Host, n: int,
                        rng: Optional[np.random.Generator] = None) -> np.ndarray:
-        """``n`` independent RTT samples between two hosts, ms."""
+        """``n`` independent RTT samples between two hosts, ms.
+
+        The noise for all ``n`` samples is drawn in one vectorised pass —
+        same distribution as :meth:`rtt_sample_ms`, a fraction of the
+        generator overhead.  Audits take hundreds of thousands of
+        samples, so this is one of the pipeline's hottest paths.
+        """
         if n < 1:
             raise ValueError(f"need at least one sample: {n!r}")
         rng = rng if rng is not None else self._rng
         base = self.base_rtt_ms(a, b)
-        return np.array([base + self._queueing_noise_ms(a, b, rng)
-                         for _ in range(n)])
+        scale = (self.topology.city(a.city_id).congestion_scale_ms
+                 + self.topology.city(b.city_id).congestion_scale_ms)
+        noise = rng.exponential(scale, size=n)
+        spikes = rng.random(n) < 0.02
+        if spikes.any():
+            noise[spikes] += rng.exponential(60.0, size=int(spikes.sum()))
+        return base + noise
+
+    def rtt_samples_matrix_ms(self, a: Host, others: Sequence[Host], n: int,
+                              rng: Optional[np.random.Generator] = None
+                              ) -> np.ndarray:
+        """``(len(others), n)`` RTT samples from ``a`` to each other host.
+
+        One vectorised noise draw covers a whole measurement panel — the
+        shape a proxy audit uses when it probes every landmark in a
+        phase through the same tunnel.
+        """
+        if n < 1:
+            raise ValueError(f"need at least one sample: {n!r}")
+        rng = rng if rng is not None else self._rng
+        k = len(others)
+        if k == 0:
+            return np.empty((0, n))
+        bases = np.array([self.base_rtt_ms(a, b) for b in others])
+        scale_a = self.topology.city(a.city_id).congestion_scale_ms
+        scales = np.array(
+            [scale_a + self.topology.city(b.city_id).congestion_scale_ms
+             for b in others])
+        noise = rng.exponential(1.0, size=(k, n)) * scales[:, None]
+        spikes = rng.random((k, n)) < 0.02
+        n_spikes = int(spikes.sum())
+        if n_spikes:
+            noise[spikes] += rng.exponential(60.0, size=n_spikes)
+        return bases[:, None] + noise
 
     def min_rtt_ms(self, a: Host, b: Host, n: int = 3,
                    rng: Optional[np.random.Generator] = None) -> float:

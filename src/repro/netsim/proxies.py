@@ -287,6 +287,38 @@ class ProxiedClient:
         leg_landmark = self.network.rtt_sample_ms(self.proxy.host, landmark.host, rng)
         return leg_client + leg_landmark + self._overhead(rng)
 
+    def rtt_through_proxy_samples_ms(self, landmark: Landmark, n: int,
+                                     rng: Optional[np.random.Generator] = None
+                                     ) -> np.ndarray:
+        """``n`` tunnelled RTT samples to a landmark, drawn in batch."""
+        rng = rng if rng is not None else self._rng
+        legs_client = self.network.rtt_samples_ms(
+            self.client, self.proxy.host, n, rng)
+        legs_landmark = self.network.rtt_samples_ms(
+            self.proxy.host, landmark.host, n, rng)
+        low, high = self.PROXY_OVERHEAD_MS
+        return legs_client + legs_landmark + rng.uniform(low, high, size=n)
+
+    def rtt_through_proxy_matrix_ms(self, landmarks: Sequence[Landmark],
+                                    n: int,
+                                    rng: Optional[np.random.Generator] = None
+                                    ) -> np.ndarray:
+        """``(len(landmarks), n)`` tunnelled RTT samples, one noise draw.
+
+        The client→proxy leg is the same host pair for every landmark, so
+        its ``len(landmarks) * n`` samples come from a single batch.
+        """
+        rng = rng if rng is not None else self._rng
+        k = len(landmarks)
+        if k == 0:
+            return np.empty((0, n))
+        legs_client = self.network.rtt_samples_ms(
+            self.client, self.proxy.host, k * n, rng).reshape(k, n)
+        legs_landmark = self.network.rtt_samples_matrix_ms(
+            self.proxy.host, [lm.host for lm in landmarks], n, rng)
+        low, high = self.PROXY_OVERHEAD_MS
+        return legs_client + legs_landmark + rng.uniform(low, high, size=(k, n))
+
     def self_ping_through_proxy_ms(self,
                                    rng: Optional[np.random.Generator] = None) -> float:
         """Client pings itself through the tunnel: ≈ 2× the direct RTT.
@@ -299,6 +331,18 @@ class ProxiedClient:
         leg_out = self.network.rtt_sample_ms(self.client, self.proxy.host, rng)
         leg_back = self.network.rtt_sample_ms(self.client, self.proxy.host, rng)
         return leg_out + leg_back + self._overhead(rng)
+
+    def self_ping_through_proxy_samples_ms(self, n: int,
+                                           rng: Optional[np.random.Generator] = None
+                                           ) -> np.ndarray:
+        """``n`` tunnel self-ping samples, drawn in batch."""
+        rng = rng if rng is not None else self._rng
+        legs_out = self.network.rtt_samples_ms(
+            self.client, self.proxy.host, n, rng)
+        legs_back = self.network.rtt_samples_ms(
+            self.client, self.proxy.host, n, rng)
+        low, high = self.PROXY_OVERHEAD_MS
+        return legs_out + legs_back + rng.uniform(low, high, size=n)
 
     def direct_ping_ms(self, rng: Optional[np.random.Generator] = None) -> Optional[float]:
         """ICMP RTT to the proxy, or None when the proxy drops ICMP."""

@@ -82,6 +82,35 @@ class TestRunAudit:
         b = cached_audit(scenario, max_servers=150, seed=0)
         assert a is b
 
+    def test_cached_audit_keys_by_object_not_address(self, scenario):
+        # Two scenarios must never share a cache entry, even if one's
+        # id() is recycled after garbage collection.  Tokens are handed
+        # out per object and travel with it.
+        from repro.experiments.audit import _scenario_token
+        token = _scenario_token(scenario)
+        assert _scenario_token(scenario) == token
+
+        class Shim:
+            pass
+
+        other = Shim()
+        assert _scenario_token(other) != token
+
+    def test_cached_audit_eviction_bounded(self, scenario, monkeypatch):
+        from repro.experiments import audit as audit_module
+        calls = []
+        monkeypatch.setattr(audit_module, "run_audit",
+                            lambda s, max_servers=None, seed=0: calls.append(seed))
+        monkeypatch.setattr(audit_module, "_AUDIT_CACHE", type(
+            audit_module._AUDIT_CACHE)())
+        for seed in range(audit_module._AUDIT_CACHE_SLOTS + 3):
+            audit_module.cached_audit(scenario, max_servers=1, seed=seed)
+        assert len(audit_module._AUDIT_CACHE) <= audit_module._AUDIT_CACHE_SLOTS
+        # Oldest entries were evicted; a re-request recomputes.
+        before = len(calls)
+        audit_module.cached_audit(scenario, max_servers=1, seed=0)
+        assert len(calls) == before + 1
+
     def test_false_claims_exist_and_dominate_tier3(self, scenario, audit):
         tier3 = {c.iso2 for c in scenario.registry.by_hosting_tier(3)}
         tier3_records = [r for r in audit.records

@@ -63,6 +63,18 @@ class TestIndexing:
             index = grid.cell_index(lat, lon)
             assert 0 <= index < grid.n_cells
 
+    def test_longitude_wrap_equivalence(self, grid):
+        # 180 ≡ -180, and [180, 360] longitudes wrap into [-180, 0).
+        assert grid.cell_index(0.0, 180.0) == grid.cell_index(0.0, -180.0)
+        assert grid.cell_index(10.0, 190.0) == grid.cell_index(10.0, -170.0)
+        assert grid.cell_index(10.0, 360.0) == grid.cell_index(10.0, 0.0)
+        assert grid.cell_index(-5.0, 359.0) == grid.cell_index(-5.0, -1.0)
+
+    def test_longitude_outside_validated_domain_rejected(self, grid):
+        for lon in (-360.0, -180.001, 360.001, 540.0):
+            with pytest.raises(ValueError):
+                grid.cell_index(0.0, lon)
+
     def test_cell_center_bad_index(self, grid):
         with pytest.raises(IndexError):
             grid.cell_center(grid.n_cells)

@@ -12,6 +12,7 @@ system-level guarantees the paper's argument rests on:
 """
 
 import itertools
+import multiprocessing
 
 import numpy as np
 import pytest
@@ -20,6 +21,7 @@ from hypothesis import strategies as st
 
 from repro.core import largest_consistent_subset
 from repro.core.calibration import CbgCalibration
+from repro.experiments import run_audit
 from repro.geo import Grid
 from repro.geodesy import BASELINE_SPEED_KM_PER_MS, MAX_SURFACE_DISTANCE_KM
 
@@ -79,6 +81,61 @@ class TestSubsetSearchExactness:
         chosen, mask = largest_consistent_subset(masks)
         assert mask.any()
         assert len(chosen) >= 1
+
+
+class TestSubsetEngineEquivalence:
+    """The bitset and boolean subset-search engines are interchangeable."""
+
+    @given(seed=st.integers(0, 100_000),
+           n_masks=st.integers(min_value=1, max_value=12),
+           n_bits=st.integers(min_value=1, max_value=300),
+           density=st.floats(min_value=0.02, max_value=0.7))
+    @settings(max_examples=80, deadline=None)
+    def test_random_masks_identical(self, seed, n_masks, n_bits, density):
+        rng = np.random.default_rng(seed)
+        masks = rng.random((n_masks, n_bits)) < density
+        base = rng.random(n_bits) < 0.8
+        chosen_bool, mask_bool = largest_consistent_subset(
+            masks, base, engine="bool")
+        chosen_bits, mask_bits = largest_consistent_subset(
+            masks, base, engine="bitset")
+        assert chosen_bool == chosen_bits
+        assert np.array_equal(mask_bool, mask_bits)
+
+    @given(st.lists(disk_strategy, min_size=1, max_size=8))
+    @settings(max_examples=40, deadline=None)
+    def test_disk_masks_identical(self, disks):
+        masks = [GRID.disk_mask(lat, lon, radius)
+                 for lat, lon, radius in disks]
+        chosen_bool, mask_bool = largest_consistent_subset(
+            masks, engine="bool")
+        chosen_bits, mask_bits = largest_consistent_subset(
+            masks, engine="bitset")
+        assert chosen_bool == chosen_bits
+        assert np.array_equal(mask_bool, mask_bits)
+
+
+@pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="parallel audit requires the fork start method")
+class TestParallelAuditEquivalence:
+    """Worker count must never change what an audit concludes."""
+
+    def test_workers_bit_identical(self, scenario):
+        serial = run_audit(scenario, max_servers=12, seed=3, workers=1)
+        parallel = run_audit(scenario, max_servers=12, seed=3, workers=4)
+        assert serial.verdict_counts() == parallel.verdict_counts()
+        assert serial.verdict_counts(initial=True) == \
+            parallel.verdict_counts(initial=True)
+        for a, b in zip(serial.records, parallel.records):
+            assert a.server.ip == b.server.ip
+            assert np.array_equal(a.region.mask, b.region.mask)
+            assert a.assessment.verdict == b.assessment.verdict
+            assert a.assessment.countries_covered == \
+                b.assessment.countries_covered
+            assert a.landmark_names == b.landmark_names
+            assert [obs.one_way_ms for obs in a.observations] == \
+                [obs.one_way_ms for obs in b.observations]
 
 
 class TestCalibrationPhysicality:
