@@ -40,10 +40,20 @@ def _scenario(args):
 
 def _cmd_audit(args) -> int:
     from .experiments import run_audit
+    if args.resume and not args.checkpoint:
+        print("--resume requires --checkpoint", file=sys.stderr)
+        return 2
     scenario = _scenario(args)
-    result = run_audit(scenario, max_servers=args.servers, seed=args.seed)
+    result = run_audit(scenario, max_servers=args.servers, seed=args.seed,
+                       workers=args.workers,
+                       fault_profile=args.fault_profile,
+                       checkpoint_path=args.checkpoint,
+                       resume=args.resume)
     print(f"audited {len(result.records)} servers "
           f"(eta={result.eta.eta:.3f}, R^2={result.eta.r_squared:.3f})")
+    if result.fault_profile:
+        print(f"fault profile: {result.fault_profile} "
+              f"({result.degraded_count} degraded records)")
     print(f"verdicts (before disambiguation): {result.verdict_counts(initial=True)}")
     print(f"verdicts (after):                 {result.verdict_counts()}")
     print(f"reclassified: {result.reclassified}")
@@ -185,6 +195,18 @@ def build_parser() -> argparse.ArgumentParser:
                        help="limit the number of servers (default: all)")
     audit.add_argument("--ground-truth", action="store_true",
                        help="also report accuracy vs simulator ground truth")
+    audit.add_argument("--workers", type=int, default=1,
+                       help="audit servers in N parallel processes")
+    from .netsim.faults import FAULT_PROFILES
+    audit.add_argument("--fault-profile", default=None,
+                       choices=sorted(FAULT_PROFILES),
+                       help="inject deterministic network faults "
+                            "(loss, outages, tunnel drops)")
+    audit.add_argument("--checkpoint", default=None, metavar="PATH",
+                       help="journal completed servers to PATH "
+                            "(JSON lines, crash-safe)")
+    audit.add_argument("--resume", action="store_true",
+                       help="resume from --checkpoint instead of starting over")
     audit.set_defaults(func=_cmd_audit)
 
     locate = commands.add_parser("locate", help="geolocate a coordinate")

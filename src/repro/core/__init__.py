@@ -71,13 +71,21 @@ from .octant import QuasiOctant
 from .refinement import IterativeRefiner, RefinementResult, RefinementRound
 from .proxy_adapter import (
     DEFAULT_ETA,
+    PAPER_ETA,
     EtaEstimate,
     ProxyMeasurer,
     collect_eta_data,
     estimate_eta,
 )
+from .resilience import LandmarkHealthTracker, RetryPolicy
 from .spotter import Spotter
-from .twophase import TwoPhaseDriver, TwoPhaseResult, TwoPhaseSelector
+from .twophase import (
+    CONTINENT_ADJACENCY,
+    NoLandmarksAvailable,
+    TwoPhaseDriver,
+    TwoPhaseResult,
+    TwoPhaseSelector,
+)
 
 __all__ = [
     "BASELINE",
@@ -90,9 +98,14 @@ __all__ = [
     "RefinementResult",
     "RefinementRound",
     "CbgCalibration",
+    "CONTINENT_ADJACENCY",
     "ClaimAssessment",
     "ContinentVerdict",
     "DEFAULT_ETA",
+    "PAPER_ETA",
+    "LandmarkHealthTracker",
+    "NoLandmarksAvailable",
+    "RetryPolicy",
     "DiskConstraint",
     "EtaEstimate",
     "GaussianRing",

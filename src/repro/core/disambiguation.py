@@ -17,7 +17,7 @@ Both refinements convert ``UNCERTAIN`` verdicts into ``CREDIBLE`` or
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..geo.datacenters import DataCenterRegistry
@@ -42,6 +42,11 @@ class AuditRecord:
     observations: List = None
     #: Names of the phase-2 landmarks used.
     landmark_names: List[str] = None
+    #: True when the measurement degraded (retries exhausted, widened
+    #: panels, or an unlocatable target) instead of completing cleanly.
+    degraded: bool = False
+    #: Driver/measurer notes describing the degradation, empty otherwise.
+    failure_notes: List[str] = field(default_factory=list)
 
 
 def metadata_group_key(server: ProxyServer) -> Tuple[str, int, str]:

@@ -6,23 +6,66 @@ continent from the fastest responses, then measures 25 randomly selected
 landmarks (anchors + stable probes) on that continent.  Random selection
 spreads measurement load (Holterbach et al.'s interference concern) and
 lets probes fill in where anchors are sparse.
+
+The driver degrades gracefully instead of raising when the measurement
+substrate misbehaves: a failed phase-1 quorum widens phase 2 to adjacent
+continents, a continent with no usable landmarks falls back the same way,
+and a target that yields too few observations for multilateration gets an
+explicitly *degraded* empty prediction rather than an exception — the
+fleet audit must survive partial failure (§6's proxies that dropped
+mid-campaign), not crash on it.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set
 
 import numpy as np
 
 from ..geo.countries import CONTINENTS
+from ..geo.region import Region
 from ..netsim.atlas import AtlasConstellation, Landmark
 from .base import GeolocationAlgorithm, Prediction
 from .observations import RttObservation
 
 #: A measurement callback: landmarks in, observations out.  Lets the same
-#: driver serve direct clients (CLI tool) and proxied targets.
+#: driver serve direct clients (CLI tool) and proxied targets.  Under
+#: fault injection the returned list may be *shorter* than the request —
+#: unresponsive landmarks simply yield nothing.
 MeasureFn = Callable[[Sequence[Landmark]], List[RttObservation]]
+
+#: Observations phase 1 must produce before its continent deduction is
+#: trusted; below this the driver widens phase 2 and marks the result
+#: degraded.
+PHASE1_QUORUM = 3
+
+#: Observations multilateration needs; below this the prediction is an
+#: (empty, degraded) region instead of a raise.
+MIN_MULTILATERATION_OBSERVATIONS = 3
+
+#: Which continents to widen into when a deduced continent cannot carry a
+#: phase-2 panel on its own.  Geographic neighbours: a target near a
+#: continent boundary is the common cause of a marginal phase-1 quorum.
+CONTINENT_ADJACENCY: Dict[str, List[str]] = {
+    "EU": ["AS", "AF", "NA"],
+    "NA": ["CA", "EU", "AS"],
+    "CA": ["NA", "SA"],
+    "SA": ["CA", "AF", "NA"],
+    "AF": ["EU", "AS", "SA"],
+    "AS": ["EU", "AF", "OC"],
+    "OC": ["AU", "AS"],
+    "AU": ["OC", "AS"],
+}
+
+
+class NoLandmarksAvailable(ValueError):
+    """A continent has no usable landmarks to build a phase-2 panel from."""
+
+    def __init__(self, continent: str):
+        super().__init__(
+            f"no landmarks available on continent {continent!r}")
+        self.continent = continent
 
 
 @dataclass
@@ -34,6 +77,11 @@ class TwoPhaseResult:
     phase1_observations: List[RttObservation]
     phase2_observations: List[RttObservation]
     phase2_landmarks: List[str]
+    #: True when any fallback fired: quorum failure, continental
+    #: widening, or an unlocatable (empty) prediction.
+    degraded: bool = False
+    #: Human-readable trail of what went wrong and what the driver did.
+    notes: List[str] = field(default_factory=list)
 
 
 class TwoPhaseSelector:
@@ -91,7 +139,12 @@ class TwoPhaseSelector:
     def phase2_landmarks(self, continent: str,
                          rng: Optional[np.random.Generator] = None
                          ) -> List[Landmark]:
-        """Random anchors + stable probes on the deduced continent."""
+        """Random anchors + stable probes on the deduced continent.
+
+        Raises :class:`NoLandmarksAvailable` (naming the continent) when
+        the pool is empty, so callers can widen instead of silently
+        measuring nothing.
+        """
         rng = rng if rng is not None else self._rng
         pool = self._pools.get(continent)
         if pool is None:
@@ -101,7 +154,7 @@ class TwoPhaseSelector:
             pool = self.atlas.landmarks_on_continent(continent)
             self._pools[continent] = pool
         if not pool:
-            raise ValueError(f"no landmarks on continent {continent!r}")
+            raise NoLandmarksAvailable(continent)
         if len(pool) <= self.phase2_size:
             return list(pool)
         indices = rng.choice(len(pool), size=self.phase2_size, replace=False)
@@ -116,26 +169,116 @@ class TwoPhaseDriver:
         self.selector = selector
         self.algorithm = algorithm
 
+    def _phase2_panel(self, continent: Optional[str], widen: bool,
+                      rng: Optional[np.random.Generator],
+                      notes: List[str],
+                      exclude: Set[str] = frozenset()) -> List[Landmark]:
+        """The phase-2 landmark panel, optionally widened.
+
+        ``widen`` adds the adjacent continents' pools (or, with no
+        deduced continent at all, every continent's) to the deduced
+        continent's own — deduplicated, minus ``exclude``.
+        """
+        continents: List[str] = [continent] if continent is not None else []
+        if widen:
+            if continent is None:
+                continents = list(CONTINENTS)
+            else:
+                continents += CONTINENT_ADJACENCY.get(continent, [])
+        panel: List[Landmark] = []
+        seen: Set[str] = set(exclude)
+        for cont in continents:
+            try:
+                picks = self.selector.phase2_landmarks(cont, rng)
+            except NoLandmarksAvailable:
+                notes.append(f"no landmarks on continent {cont!r}; skipped")
+                continue
+            for lm in picks:
+                if lm.name not in seen:
+                    seen.add(lm.name)
+                    panel.append(lm)
+        return panel
+
     def locate(self, measure: MeasureFn,
                rng: Optional[np.random.Generator] = None) -> TwoPhaseResult:
         """Measure, deduce the continent, measure again, multilaterate.
 
         Phase-1 observations from the deduced continent are reused in the
         final multilateration — they are valid measurements and cost
-        nothing extra.
+        nothing extra.  Partial failure degrades the result (widened
+        panels, at worst an empty prediction) instead of raising; the
+        ``degraded`` flag and ``notes`` record what happened.
         """
-        phase1 = measure(self.selector.phase1_landmarks())
-        continent = self.selector.deduce_continent(phase1)
-        phase2_landmarks = self.selector.phase2_landmarks(continent, rng)
-        phase2 = measure(phase2_landmarks)
-        reusable = [obs for obs in phase1
-                    if self.selector.continent_of_landmark(obs.landmark_name)
-                    == continent]
-        prediction = self.algorithm.predict(list(phase2) + reusable)
+        degraded = False
+        notes: List[str] = []
+        panel = self.selector.phase1_landmarks()
+        phase1 = measure(panel)
+        if len(phase1) < len(panel):
+            notes.append(f"phase1: {len(panel) - len(phase1)} of "
+                         f"{len(panel)} landmarks unresponsive")
+        widen = False
+        continent: Optional[str] = None
+        if not phase1:
+            degraded = True
+            widen = True
+            notes.append("phase1 produced no observations; "
+                         "falling back to a global panel")
+        else:
+            continent = self.selector.deduce_continent(phase1)
+            if len(phase1) < PHASE1_QUORUM:
+                degraded = True
+                widen = True
+                notes.append(f"phase1 quorum failed ({len(phase1)} < "
+                             f"{PHASE1_QUORUM}); widening to continents "
+                             f"adjacent to {continent}")
+
+        phase2_landmarks = self._phase2_panel(continent, widen, rng, notes)
+        phase2 = list(measure(phase2_landmarks)) if phase2_landmarks else []
+        if widen or continent is None:
+            # A widened panel spans continents; every phase-1 measurement
+            # is in scope for the final multilateration.
+            reusable = list(phase1)
+        else:
+            reusable = [obs for obs in phase1
+                        if self.selector.continent_of_landmark(
+                            obs.landmark_name) == continent]
+
+        combined = phase2 + reusable
+        if (len(combined) < MIN_MULTILATERATION_OBSERVATIONS and not widen
+                and continent is not None):
+            # The deduced continent could not carry the measurement —
+            # dead landmarks, lost probes.  Fall back to the remaining
+            # anchors next door before giving up.
+            degraded = True
+            notes.append(f"only {len(combined)} observations from "
+                         f"{continent}; widening to adjacent continents")
+            measured = {lm.name for lm in phase2_landmarks}
+            extra_panel = self._phase2_panel(continent, True, rng, notes,
+                                             exclude=measured)
+            if extra_panel:
+                extra = list(measure(extra_panel))
+                phase2 += extra
+                phase2_landmarks = list(phase2_landmarks) + extra_panel
+                combined = phase2 + list(phase1)
+
+        if len(combined) >= MIN_MULTILATERATION_OBSERVATIONS:
+            prediction = self.algorithm.predict(combined)
+        else:
+            degraded = True
+            notes.append(f"{len(combined)} observations after every "
+                         "fallback; target unlocatable")
+            prediction = Prediction(algorithm=self.algorithm.name,
+                                    region=Region.empty(self.algorithm.grid))
+
+        if continent is None and combined:
+            continent = self.selector.continent_of_landmark(
+                min(combined, key=lambda obs: obs.one_way_ms).landmark_name)
         return TwoPhaseResult(
             prediction=prediction,
-            deduced_continent=continent,
+            deduced_continent=continent if continent is not None else "unknown",
             phase1_observations=list(phase1),
             phase2_observations=list(phase2),
             phase2_landmarks=[lm.name for lm in phase2_landmarks],
+            degraded=degraded,
+            notes=notes,
         )

@@ -20,6 +20,7 @@ from . import (
     ext_testbench,
 )
 from .audit import AuditResult, cached_audit, run_audit
+from .checkpoint import AuditCheckpoint, CheckpointMismatch
 from .scenario import (
     Scenario,
     build_scenario,
@@ -28,7 +29,9 @@ from .scenario import (
 )
 
 __all__ = [
+    "AuditCheckpoint",
     "AuditResult",
+    "CheckpointMismatch",
     "Scenario",
     "build_scenario",
     "cached_audit",

@@ -11,9 +11,9 @@ from __future__ import annotations
 import itertools
 import multiprocessing
 from collections import OrderedDict
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -24,7 +24,14 @@ from ..core.disambiguation import AuditRecord, refine_assessments
 from ..core.proxy_adapter import EtaEstimate, ProxyMeasurer, estimate_eta
 from ..core.twophase import TwoPhaseDriver, TwoPhaseSelector
 from ..geo.region import Region
+from ..netsim.faults import (
+    FaultInjector,
+    FaultProfile,
+    MeasurementFailed,
+    resolve_fault_profile,
+)
 from ..netsim.proxies import ProxyServer
+from .checkpoint import AuditCheckpoint, ServerPayload
 from .scenario import Scenario
 
 
@@ -35,6 +42,13 @@ class AuditResult:
     records: List[AuditRecord]
     eta: EtaEstimate
     reclassified: Dict[str, int] = field(default_factory=dict)
+    #: Name of the fault profile the audit ran under, None for fault-free.
+    fault_profile: Optional[str] = None
+
+    @property
+    def degraded_count(self) -> int:
+        """How many servers needed a fallback path to yield a record."""
+        return sum(1 for record in self.records if record.degraded)
 
     # -- tallies -------------------------------------------------------------
 
@@ -104,10 +118,6 @@ class AuditResult:
         }
 
 
-#: A worker's result for one server, cheap to pickle back to the parent:
-#: (fleet index, packed region mask, assessment, observations, landmarks).
-_ServerPayload = Tuple[int, bytes, ClaimAssessment, list, List[str]]
-
 #: Shared state for forked audit workers.  Set immediately before the
 #: pool is created so the fork snapshot carries it; the children read it,
 #: the parent clears it once the pool is done.
@@ -120,20 +130,45 @@ def _audit_one(scenario: Scenario, driver: TwoPhaseDriver,
 
     The measurement stream is keyed by ``(seed, host_id)`` — independent
     of fleet order and of which process runs the server — which is what
-    makes serial and parallel audits bit-identical.
+    makes serial, parallel, and resumed-from-checkpoint audits
+    bit-identical.  A proxy whose tunnel never answers (the paper's
+    servers that dropped mid-campaign) yields a degraded UNLOCATABLE
+    record rather than an exception.
     """
     rng = np.random.default_rng((seed, server.host.host_id))
     measurer = ProxyMeasurer(scenario.network, scenario.client, server,
                              eta=eta.eta, seed=server.host.host_id)
-    result = driver.locate(measurer.observe, rng)
+    with scenario.network.measurement_epoch_for(server.host):
+        try:
+            result = driver.locate(measurer.observe, rng)
+        except MeasurementFailed as exc:
+            region = Region.empty(driver.algorithm.grid)
+            assessment = assess_claim(region, server.claimed_country,
+                                      scenario.worldmap)
+            return (region, assessment, [], [], True,
+                    [f"tunnel unreachable: {exc}"])
     assessment = assess_claim(result.prediction.region,
                               server.claimed_country, scenario.worldmap)
-    return result, assessment
+    observations = (list(result.phase2_observations)
+                    + list(result.phase1_observations))
+    return (result.prediction.region, assessment, observations,
+            list(result.phase2_landmarks), result.degraded,
+            list(result.notes))
+
+
+def _payload_for(scenario: Scenario, driver: TwoPhaseDriver,
+                 servers: List[ProxyServer], index: int, eta: EtaEstimate,
+                 seed: int) -> ServerPayload:
+    region, assessment, observations, names, degraded, notes = _audit_one(
+        scenario, driver, servers[index], eta, seed)
+    return (index, np.packbits(region.mask).tobytes(), assessment,
+            observations, names, degraded, notes)
 
 
 def _record_from(server: ProxyServer, region: Region,
                  assessment: ClaimAssessment, observations: list,
-                 landmark_names: List[str]) -> AuditRecord:
+                 landmark_names: List[str], degraded: bool,
+                 notes: List[str]) -> AuditRecord:
     return AuditRecord(
         server=server,
         region=region,
@@ -141,60 +176,69 @@ def _record_from(server: ProxyServer, region: Region,
         initial_verdict=assessment.verdict,
         observations=observations,
         landmark_names=landmark_names,
+        degraded=degraded,
+        failure_notes=notes,
     )
 
 
-def _fork_worker(indices: List[int]) -> List[_ServerPayload]:
+def _record_from_payload(servers: List[ProxyServer], grid,
+                         payload: ServerPayload) -> AuditRecord:
+    index, packed, assessment, observations, names, degraded, notes = payload
+    mask = np.unpackbits(np.frombuffer(packed, dtype=np.uint8),
+                         count=grid.n_cells).astype(bool)
+    return _record_from(servers[index], Region(grid, mask), assessment,
+                        observations, names, degraded, notes)
+
+
+def _fork_worker(indices: List[int]) -> List[ServerPayload]:
     scenario, driver, servers, eta, seed = _FORK_STATE
-    payloads: List[_ServerPayload] = []
-    for index in indices:
-        server = servers[index]
-        result, assessment = _audit_one(scenario, driver, server, eta, seed)
-        payloads.append((
-            index,
-            np.packbits(result.prediction.region.mask).tobytes(),
-            assessment,
-            (list(result.phase2_observations)
-             + list(result.phase1_observations)),
-            list(result.phase2_landmarks),
-        ))
-    return payloads
+    return [_payload_for(scenario, driver, servers, index, eta, seed)
+            for index in indices]
 
 
-def _parallel_records(scenario: Scenario, driver: TwoPhaseDriver,
-                      servers: List[ProxyServer], eta: EtaEstimate,
-                      seed: int, workers: int) -> List[AuditRecord]:
+#: Servers per checkpointed work unit: small enough that a killed audit
+#: loses little progress, large enough to amortise pool round trips.
+_CHECKPOINT_CHUNK = 4
+
+
+def _parallel_payloads(scenario: Scenario, driver: TwoPhaseDriver,
+                       servers: List[ProxyServer], eta: EtaEstimate,
+                       seed: int, workers: int, indices: List[int],
+                       on_payload: Optional[Callable[[ServerPayload], None]]
+                       ) -> List[ServerPayload]:
     """Fan the per-server audits over forked worker processes.
 
     Fork (not spawn) is required: the children inherit the scenario —
     topology, shortest-path caches, the grid's distance bank — as
     copy-on-write pages instead of re-pickling hundreds of megabytes.
     Each worker ships back only a packed region mask plus the small
-    assessment/observation records; the parent rebuilds full
-    :class:`AuditRecord` objects in fleet order, so the result is
-    indistinguishable from a serial run.
+    assessment/observation records.  Without a checkpoint sink, work is
+    split into one round-robin chunk per worker (minimal IPC); with one,
+    smaller chunks are journalled as they complete so a kill loses at
+    most a chunk of progress.
     """
     global _FORK_STATE
-    grid = driver.algorithm.grid
     context = multiprocessing.get_context("fork")
-    chunks = [list(range(worker, len(servers), workers))
-              for worker in range(workers)]
+    if on_payload is None:
+        chunks = [indices[worker::workers] for worker in range(workers)]
+    else:
+        chunks = [indices[at:at + _CHECKPOINT_CHUNK]
+                  for at in range(0, len(indices), _CHECKPOINT_CHUNK)]
+    chunks = [chunk for chunk in chunks if chunk]
     _FORK_STATE = (scenario, driver, servers, eta, seed)
+    payloads: List[ServerPayload] = []
     try:
         with ProcessPoolExecutor(max_workers=workers,
                                  mp_context=context) as pool:
-            results = list(pool.map(_fork_worker, chunks))
+            futures = [pool.submit(_fork_worker, chunk) for chunk in chunks]
+            for future in as_completed(futures):
+                for payload in future.result():
+                    payloads.append(payload)
+                    if on_payload is not None:
+                        on_payload(payload)
     finally:
         _FORK_STATE = None
-
-    by_index: Dict[int, AuditRecord] = {}
-    for payloads in results:
-        for index, packed, assessment, observations, names in payloads:
-            mask = np.unpackbits(np.frombuffer(packed, dtype=np.uint8),
-                                 count=grid.n_cells).astype(bool)
-            by_index[index] = _record_from(servers[index], Region(grid, mask),
-                                           assessment, observations, names)
-    return [by_index[index] for index in range(len(servers))]
+    return payloads
 
 
 def run_audit(scenario: Scenario,
@@ -203,7 +247,10 @@ def run_audit(scenario: Scenario,
               max_servers: Optional[int] = None,
               seed: int = 0,
               disambiguate: bool = True,
-              workers: int = 1) -> AuditResult:
+              workers: int = 1,
+              fault_profile: Optional[object] = None,
+              checkpoint_path: Optional[str] = None,
+              resume: bool = False) -> AuditResult:
     """Audit a proxy fleet end to end.
 
     Parameters
@@ -219,6 +266,19 @@ def run_audit(scenario: Scenario,
         produces bit-identical records; parallelism only changes
         wall-clock time.  Falls back to serial where ``fork`` is
         unavailable.
+    fault_profile:
+        A :class:`~repro.netsim.faults.FaultProfile`, a profile name from
+        ``FAULT_PROFILES``, or None.  Defaults to the scenario's own
+        ``fault_profile``.  A null profile is byte-identical to no
+        profile at all.
+    checkpoint_path:
+        Journal completed servers to this JSONL file as the audit runs.
+    resume:
+        With ``checkpoint_path``, load previously completed servers from
+        the journal (validating that it belongs to this exact run) and
+        audit only the remainder; the merged records are bit-identical to
+        an uninterrupted run.  Without ``resume`` an existing journal is
+        overwritten.
     """
     rng = np.random.default_rng(seed)
     if algorithm is None:
@@ -228,33 +288,67 @@ def run_audit(scenario: Scenario,
     if max_servers is not None:
         servers = list(servers)[:max_servers]
     servers = list(servers)
+    grid = algorithm.grid
 
-    eta = estimate_eta(scenario.network, scenario.client,
-                       scenario.all_servers(), rng)
-    selector = TwoPhaseSelector(scenario.atlas, seed=seed)
-    driver = TwoPhaseDriver(selector, algorithm)
+    profile: Optional[FaultProfile] = resolve_fault_profile(
+        fault_profile if fault_profile is not None
+        else scenario.fault_profile)
+    injector: Optional[FaultInjector] = None
+    if profile is not None:
+        injector = FaultInjector(profile, seed=seed)
+        injector.schedule_outages(
+            [lm.host.host_id for lm in scenario.atlas.all_landmarks()])
 
-    use_fork = (workers > 1 and len(servers) > 1
-                and "fork" in multiprocessing.get_all_start_methods())
-    if use_fork:
-        records = _parallel_records(scenario, driver, servers, eta, seed,
-                                    min(workers, len(servers)))
-    else:
-        records = []
-        for server in servers:
-            result, assessment = _audit_one(scenario, driver, server, eta,
-                                            seed)
-            records.append(_record_from(
-                server, result.prediction.region, assessment,
-                (list(result.phase2_observations)
-                 + list(result.phase1_observations)),
-                list(result.phase2_landmarks)))
+    checkpoint: Optional[AuditCheckpoint] = None
+    completed: Dict[int, ServerPayload] = {}
+    if checkpoint_path is not None:
+        checkpoint = AuditCheckpoint(
+            checkpoint_path,
+            audit_seed=seed,
+            profile=profile.name if profile is not None else None,
+            n_servers=len(servers),
+            n_cells=grid.n_cells,
+            fleet_digest=AuditCheckpoint.fleet_digest(
+                server.host.host_id for server in servers))
+        if resume:
+            completed = checkpoint.load()
+        checkpoint.start(fresh=not resume)
+
+    with scenario.network.faults_installed(injector):
+        eta = estimate_eta(scenario.network, scenario.client,
+                           scenario.all_servers(), rng)
+        selector = TwoPhaseSelector(scenario.atlas, seed=seed)
+        driver = TwoPhaseDriver(selector, algorithm)
+
+        pending = [index for index in range(len(servers))
+                   if index not in completed]
+        on_payload = checkpoint.append if checkpoint is not None else None
+        use_fork = (workers > 1 and len(pending) > 1
+                    and "fork" in multiprocessing.get_all_start_methods())
+        if use_fork:
+            payloads = _parallel_payloads(
+                scenario, driver, servers, eta, seed,
+                min(workers, len(pending)), pending, on_payload)
+        else:
+            payloads = []
+            for index in pending:
+                payload = _payload_for(scenario, driver, servers, index,
+                                       eta, seed)
+                payloads.append(payload)
+                if on_payload is not None:
+                    on_payload(payload)
+
+    for payload in payloads:
+        completed[payload[0]] = payload
+    records = [_record_from_payload(servers, grid, completed[index])
+               for index in range(len(servers))]
 
     reclassified: Dict[str, int] = {"datacenter": 0, "metadata": 0, "total": 0}
     if disambiguate:
         reclassified = refine_assessments(records, scenario.datacenters,
                                           scenario.worldmap)
-    return AuditResult(records=records, eta=eta, reclassified=reclassified)
+    return AuditResult(records=records, eta=eta, reclassified=reclassified,
+                       fault_profile=profile.name if profile else None)
 
 
 _AUDIT_CACHE: "OrderedDict[tuple, AuditResult]" = OrderedDict()

@@ -1,0 +1,168 @@
+"""Checkpoint/resume for the fleet audit.
+
+A multi-hour audit over thousands of proxies must survive being killed —
+the paper's own campaign ran for weeks and lost proxies mid-flight.  The
+checkpoint is a JSON-lines file: one header line identifying the run
+(seed, fault profile, fleet fingerprint, grid size) followed by one line
+per *completed* server, appended and flushed as each server finishes.
+
+Resume correctness rests on the audit's RNG discipline: every server's
+measurement stream is keyed by ``(seed, host_id)``, independent of fleet
+order, so skipping already-completed servers cannot perturb the
+remainder.  Serialisation is exact — Python's ``json`` round-trips floats
+through ``repr`` and the region mask travels as packed-bit hex — so a
+resumed audit's records are bit-identical to an uninterrupted run's.
+
+A truncated final line (the kill arrived mid-write) is silently dropped;
+that server is simply re-audited.  A header mismatch (different seed,
+profile, fleet, or grid) raises :class:`CheckpointMismatch` rather than
+splicing records from a different run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional, Tuple
+
+from ..core.assessment import ClaimAssessment, ContinentVerdict, Verdict
+from ..core.observations import RttObservation
+
+#: (index, packed region mask, assessment, observations, landmark names,
+#: degraded, failure notes) — the unit shipped between audit workers,
+#: the parent, and the checkpoint file.
+ServerPayload = Tuple[int, bytes, ClaimAssessment, list, List[str],
+                      bool, List[str]]
+
+FORMAT = "repro-audit-checkpoint"
+VERSION = 1
+
+
+class CheckpointMismatch(ValueError):
+    """The checkpoint on disk belongs to a different audit run."""
+
+
+def _assessment_to_json(assessment: ClaimAssessment) -> dict:
+    return {
+        "claimed": assessment.claimed_country,
+        "verdict": assessment.verdict.value,
+        "continent_verdict": assessment.continent_verdict.value,
+        "covered": list(assessment.countries_covered),
+        "area_km2": assessment.region_area_km2,
+        "resolved": assessment.resolved_country,
+        "method": assessment.resolution_method,
+    }
+
+
+def _assessment_from_json(data: dict) -> ClaimAssessment:
+    return ClaimAssessment(
+        claimed_country=data["claimed"],
+        verdict=Verdict(data["verdict"]),
+        continent_verdict=ContinentVerdict(data["continent_verdict"]),
+        countries_covered=list(data["covered"]),
+        region_area_km2=data["area_km2"],
+        resolved_country=data["resolved"],
+        resolution_method=data["method"],
+    )
+
+
+def payload_to_json(payload: ServerPayload) -> dict:
+    index, packed, assessment, observations, names, degraded, notes = payload
+    return {
+        "i": index,
+        "mask": packed.hex(),
+        "assessment": _assessment_to_json(assessment),
+        "obs": [[o.landmark_name, o.lat, o.lon, o.one_way_ms]
+                for o in observations],
+        "landmarks": list(names),
+        "degraded": degraded,
+        "notes": list(notes),
+    }
+
+
+def payload_from_json(data: dict) -> ServerPayload:
+    return (
+        int(data["i"]),
+        bytes.fromhex(data["mask"]),
+        _assessment_from_json(data["assessment"]),
+        [RttObservation(name, lat, lon, one_way)
+         for name, lat, lon, one_way in data["obs"]],
+        list(data["landmarks"]),
+        bool(data["degraded"]),
+        list(data["notes"]),
+    )
+
+
+class AuditCheckpoint:
+    """Append-only JSONL journal of completed per-server audit payloads."""
+
+    def __init__(self, path, *, audit_seed: int, profile: Optional[str],
+                 n_servers: int, n_cells: int, fleet_digest: str):
+        self.path = os.fspath(path)
+        self._header = {
+            "format": FORMAT,
+            "version": VERSION,
+            "audit_seed": audit_seed,
+            "profile": profile,
+            "n_servers": n_servers,
+            "n_cells": n_cells,
+            "fleet": fleet_digest,
+        }
+
+    @staticmethod
+    def fleet_digest(host_ids) -> str:
+        """A stable fingerprint of the audited fleet (order-sensitive)."""
+        import hashlib
+        joined = ",".join(str(int(h)) for h in host_ids)
+        return hashlib.sha256(joined.encode("ascii")).hexdigest()[:16]
+
+    # -- reading -------------------------------------------------------------
+
+    def load(self) -> Dict[int, ServerPayload]:
+        """Completed payloads by server index; {} when starting fresh.
+
+        Raises :class:`CheckpointMismatch` when the file's header does
+        not match this run.  A torn final line is dropped.
+        """
+        if not os.path.exists(self.path):
+            return {}
+        completed: Dict[int, ServerPayload] = {}
+        with open(self.path, "r", encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+        if not lines:
+            return {}
+        try:
+            header = json.loads(lines[0])
+        except json.JSONDecodeError:
+            raise CheckpointMismatch(
+                f"{self.path}: unreadable checkpoint header")
+        if header != self._header:
+            raise CheckpointMismatch(
+                f"{self.path}: checkpoint belongs to a different run "
+                f"(found {header!r}, expected {self._header!r})")
+        for line in lines[1:]:
+            try:
+                data = json.loads(line)
+            except json.JSONDecodeError:
+                break  # torn tail write; re-audit that server
+            payload = payload_from_json(data)
+            completed[payload[0]] = payload
+        return completed
+
+    # -- writing -------------------------------------------------------------
+
+    def start(self, fresh: bool) -> None:
+        """Write the header (truncating when ``fresh`` or file absent)."""
+        if fresh or not os.path.exists(self.path):
+            directory = os.path.dirname(self.path)
+            if directory:
+                os.makedirs(directory, exist_ok=True)
+            with open(self.path, "w", encoding="utf-8") as handle:
+                handle.write(json.dumps(self._header) + "\n")
+
+    def append(self, payload: ServerPayload) -> None:
+        """Durably record one completed server."""
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(payload_to_json(payload)) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())

@@ -24,6 +24,7 @@ from ..geo.grid import Grid
 from ..geo.worldmap import WorldMap
 from ..netsim.atlas import AtlasConstellation
 from ..netsim.cities import build_cities
+from ..netsim.faults import FaultProfile, resolve_fault_profile
 from ..netsim.crowd import CrowdHost, build_crowd
 from ..netsim.hosts import Host, HostFactory
 from ..netsim.ipdb import IpdbPanel
@@ -65,6 +66,10 @@ class Scenario:
     providers: List[VpnProvider]
     ipdb: IpdbPanel
     client: Host
+    #: Default fault profile for audits over this scenario (None = the
+    #: perfect substrate).  ``run_audit``'s ``fault_profile`` argument
+    #: overrides it per run.
+    fault_profile: Optional[FaultProfile] = None
 
     def all_servers(self):
         """Every proxy server across all providers, in provider order."""
@@ -81,11 +86,17 @@ def build_scenario(seed: int = 0,
                    proxy_scale: float = 1.0,
                    anchor_quotas: Optional[Dict[str, int]] = None,
                    probe_quotas: Optional[Dict[str, int]] = None,
-                   crowd_quotas: Optional[Dict[str, int]] = None) -> Scenario:
+                   crowd_quotas: Optional[Dict[str, int]] = None,
+                   fault_profile: Optional[object] = None) -> Scenario:
     """Construct a fully wired scenario.
 
     Build order matters: the proxy fleet adds hosting ASes to the
     topology, so it is created before any latency caches warm up.
+
+    ``fault_profile`` (a profile, a name from ``FAULT_PROFILES``, or
+    None) becomes the scenario's default for audits; the substrate itself
+    is built fault-free either way — faults afflict live measurements,
+    never the calibration archive.
     """
     registry = CountryRegistry.default()
     grid = Grid(resolution_deg=grid_resolution)
@@ -120,6 +131,7 @@ def build_scenario(seed: int = 0,
         providers=providers,
         ipdb=ipdb,
         client=client,
+        fault_profile=resolve_fault_profile(fault_profile),
     )
 
 

@@ -18,6 +18,13 @@ from .cities import (
     cities_by_continent,
 )
 from .crowd import CROWD_QUOTAS, CrowdHost, build_crowd
+from .faults import (
+    FAULT_PROFILES,
+    FaultInjector,
+    FaultProfile,
+    MeasurementFailed,
+    resolve_fault_profile,
+)
 from .hosts import Host, HostFactory
 from .ipdb import DEFAULT_DATABASES, IpToLocationDatabase, IpdbPanel
 from .network import Network, Unreachable
@@ -58,7 +65,12 @@ __all__ = [
     "CliTool",
     "CrowdHost",
     "DEFAULT_DATABASES",
+    "FAULT_PROFILES",
+    "FaultInjector",
+    "FaultProfile",
     "GLOBAL_HUBS",
+    "MeasurementFailed",
+    "resolve_fault_profile",
     "Host",
     "HostFactory",
     "IpToLocationDatabase",

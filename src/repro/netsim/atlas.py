@@ -158,8 +158,13 @@ class AtlasConstellation:
         cached = self._mesh_cache.get(key)
         if cached is None:
             pair_rng = np.random.default_rng(key)
-            rtt = self.network.min_rtt_ms(a.host, b.host,
-                                          n=self.CALIBRATION_SAMPLES, rng=pair_rng)
+            # Archived data: even when lazily materialised mid-audit, the
+            # mesh ping must come from the pristine substrate, or the
+            # cached value would depend on whose measurement epoch
+            # happened to trigger it.
+            with self.network.fault_free():
+                rtt = self.network.min_rtt_ms(
+                    a.host, b.host, n=self.CALIBRATION_SAMPLES, rng=pair_rng)
             cached = rtt / 2.0
             self._mesh_cache[key] = cached
         return cached

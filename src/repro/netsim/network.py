@@ -11,11 +11,13 @@ because routes are circuitous.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from typing import Dict, Optional, Sequence
 
 import networkx as nx
 import numpy as np
 
+from .faults import FaultInjector, MeasurementFailed
 from .hosts import Host
 from .topology import RouterId, Topology
 
@@ -25,15 +27,81 @@ class Unreachable(Exception):
 
 
 class Network:
-    """Latency oracle over a :class:`~repro.netsim.topology.Topology`."""
+    """Latency oracle over a :class:`~repro.netsim.topology.Topology`.
+
+    An optional :class:`~repro.netsim.faults.FaultInjector` can be
+    installed (``faults_installed``); it only afflicts samples taken
+    inside a measurement epoch (``measurement_epoch_for``), so the mesh
+    calibration archive and diagnostic paths always see the fault-free
+    substrate.  Without an injector — or outside an epoch — every code
+    path below is byte-identical to the fault-free simulator and consumes
+    no extra random draws.
+    """
 
     _PATH_CACHE_SLOTS = 4096
 
-    def __init__(self, topology: Topology, seed: int = 0):
+    def __init__(self, topology: Topology, seed: int = 0,
+                 faults: Optional[FaultInjector] = None):
         self.topology = topology
         self._rng = np.random.default_rng(seed)
         self._sssp_cache: Dict[RouterId, Dict[RouterId, float]] = {}
         self._cached_version = topology.version
+        self.faults = faults
+        self._fault_time: Optional[float] = None
+
+    # -- fault layer ----------------------------------------------------------
+
+    @contextmanager
+    def faults_installed(self, injector: Optional[FaultInjector]):
+        """Install (or clear) the fault injector for the duration."""
+        previous = self.faults
+        self.faults = injector
+        try:
+            yield self
+        finally:
+            self.faults = previous
+
+    @contextmanager
+    def measurement_epoch_for(self, host: Host):
+        """Activate fault injection at ``host``'s campaign time.
+
+        Samples taken inside the context are afflicted as if measured at
+        the logical instant the installed injector assigns to ``host`` —
+        a pure function of the host id, so epochs are order-independent.
+        A no-op (and free) when no injector is installed.
+        """
+        if self.faults is None:
+            yield self
+            return
+        previous = self._fault_time
+        self._fault_time = self.faults.campaign_time(host.host_id)
+        try:
+            yield self
+        finally:
+            self._fault_time = previous
+
+    @contextmanager
+    def fault_free(self):
+        """Suspend any open measurement epoch for the duration.
+
+        Archived-data paths (the mesh-ping database landmark calibration
+        reads from) must see the pristine substrate even when they are
+        lazily materialised in the middle of an afflicted measurement —
+        otherwise the cached value would depend on *which* target's epoch
+        happened to compute it first, breaking order-independence.
+        """
+        previous = self._fault_time
+        self._fault_time = None
+        try:
+            yield self
+        finally:
+            self._fault_time = previous
+
+    def active_faults(self) -> Optional[FaultInjector]:
+        """The injector, iff a measurement epoch is open."""
+        if self.faults is not None and self._fault_time is not None:
+            return self.faults
+        return None
 
     def _check_version(self) -> None:
         """Drop shortest-path caches if the topology grew new routers."""
@@ -115,9 +183,19 @@ class Network:
 
     def rtt_sample_ms(self, a: Host, b: Host,
                       rng: Optional[np.random.Generator] = None) -> float:
-        """One measured round-trip time between two hosts, ms."""
+        """One measured round-trip time between two hosts, ms.
+
+        NaN when fault injection is active and the probe is lost.
+        """
         rng = rng if rng is not None else self._rng
-        return self.base_rtt_ms(a, b) + self._queueing_noise_ms(a, b, rng)
+        sample = self.base_rtt_ms(a, b) + self._queueing_noise_ms(a, b, rng)
+        faults = self.active_faults()
+        if faults is not None:
+            burst = np.array([sample])
+            down = (faults.landmark_down(a.host_id, self._fault_time)
+                    or faults.landmark_down(b.host_id, self._fault_time))
+            sample = float(faults.afflict_burst(burst, down, rng)[0])
+        return sample
 
     def rtt_samples_ms(self, a: Host, b: Host, n: int,
                        rng: Optional[np.random.Generator] = None) -> np.ndarray:
@@ -138,7 +216,13 @@ class Network:
         spikes = rng.random(n) < 0.02
         if spikes.any():
             noise[spikes] += rng.exponential(60.0, size=int(spikes.sum()))
-        return base + noise
+        samples = base + noise
+        faults = self.active_faults()
+        if faults is not None:
+            down = (faults.landmark_down(a.host_id, self._fault_time)
+                    or faults.landmark_down(b.host_id, self._fault_time))
+            samples = faults.afflict_burst(samples, down, rng)
+        return samples
 
     def rtt_samples_matrix_ms(self, a: Host, others: Sequence[Host], n: int,
                               rng: Optional[np.random.Generator] = None
@@ -165,9 +249,27 @@ class Network:
         n_spikes = int(spikes.sum())
         if n_spikes:
             noise[spikes] += rng.exponential(60.0, size=n_spikes)
-        return bases[:, None] + noise
+        samples = bases[:, None] + noise
+        faults = self.active_faults()
+        if faults is not None:
+            a_down = faults.landmark_down(a.host_id, self._fault_time)
+            down_rows = np.array(
+                [a_down or faults.landmark_down(b.host_id, self._fault_time)
+                 for b in others])
+            samples = faults.afflict_matrix(samples, down_rows, rng)
+        return samples
 
     def min_rtt_ms(self, a: Host, b: Host, n: int = 3,
                    rng: Optional[np.random.Generator] = None) -> float:
-        """Minimum of ``n`` RTT samples — what ping-based tools report."""
-        return float(self.rtt_samples_ms(a, b, n, rng).min())
+        """Minimum of ``n`` RTT samples — what ping-based tools report.
+
+        Raises :class:`~repro.netsim.faults.MeasurementFailed` when every
+        sample in the burst was lost or timed out, rather than handing an
+        ``inf``/``nan`` downstream for the bestline fits to choke on.
+        """
+        samples = self.rtt_samples_ms(a, b, n, rng)
+        finite = samples[np.isfinite(samples)]
+        if finite.size == 0:
+            raise MeasurementFailed(
+                f"all {n} probes {a.name!r} -> {b.name!r} lost or timed out")
+        return float(finite.min())

@@ -268,12 +268,19 @@ class ProxiedClient:
     #: Per-packet processing delay added by the VPN software, ms.
     PROXY_OVERHEAD_MS = (0.3, 2.0)
 
+    #: Which measurement burst a scheduled tunnel drop strikes.  Burst 0
+    #: is the phase-1 panel; burst 1 is the phase-2 panel — a drop there
+    #: is the paper's "proxy disappeared mid-campaign" case.  Later bursts
+    #: are retries, by which time the tunnel has reconnected.
+    _DROP_BURST = 1
+
     def __init__(self, network: Network, client: Host, proxy: ProxyServer,
                  seed: int = 0):
         self.network = network
         self.client = client
         self.proxy = proxy
         self._rng = np.random.default_rng(seed)
+        self._burst_index = 0
 
     def _overhead(self, rng: np.random.Generator) -> float:
         low, high = self.PROXY_OVERHEAD_MS
@@ -317,7 +324,19 @@ class ProxiedClient:
         legs_landmark = self.network.rtt_samples_matrix_ms(
             self.proxy.host, [lm.host for lm in landmarks], n, rng)
         low, high = self.PROXY_OVERHEAD_MS
-        return legs_client + legs_landmark + rng.uniform(low, high, size=(k, n))
+        samples = (legs_client + legs_landmark
+                   + rng.uniform(low, high, size=(k, n)))
+        faults = self.network.active_faults()
+        if faults is not None:
+            if self._burst_index == self._DROP_BURST:
+                drop_point = faults.tunnel_drop_point(self.proxy.host.host_id)
+                if drop_point is not None:
+                    # The tunnel drops partway through the panel: every
+                    # probe from that landmark on is lost until the
+                    # measurer retries (the reconnect).
+                    samples[int(drop_point * k):] = np.nan
+            self._burst_index += 1
+        return samples
 
     def self_ping_through_proxy_ms(self,
                                    rng: Optional[np.random.Generator] = None) -> float:

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core import (
-    DEFAULT_ETA,
+    PAPER_ETA,
     ProxyMeasurer,
     collect_eta_data,
     estimate_eta,
@@ -31,13 +31,17 @@ class TestEtaEstimation:
         for indirect, direct in pairs:
             assert indirect > direct
 
-    def test_fallback_to_default_eta(self, scenario, rng):
+    def test_fallback_to_paper_prior(self, scenario, rng):
+        """Too few pingable proxies: fall back to the paper's fitted
+        prior (Figure 13), marked degraded."""
         unpingable = [s for s in scenario.all_servers()
                       if not s.responds_to_ping][:5]
         estimate = estimate_eta(scenario.network, scenario.client,
                                 unpingable, rng)
-        assert estimate.eta == DEFAULT_ETA
+        assert estimate.eta == PAPER_ETA
         assert estimate.n_proxies == 0
+        assert estimate.n_samples == 0
+        assert estimate.degraded
 
 
 class TestProxyMeasurer:
