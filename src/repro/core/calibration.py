@@ -178,6 +178,11 @@ class OctantCalibration:
         # Invert hulls into delay -> distance lookup tables.
         self._max_curve = self._monotone_inverse(lower_hull(fast_points))
         self._min_curve = self._monotone_inverse(upper_hull(slow_points))
+        # Vertex arrays for the vectorised (searchsorted) lookups.
+        self._max_ts = np.array([t for t, _ in self._max_curve])
+        self._max_ds = np.array([d for _, d in self._max_curve])
+        self._min_ts = np.array([t for t, _ in self._min_curve])
+        self._min_ds = np.array([d for _, d in self._min_curve])
 
     @staticmethod
     def _monotone_inverse(hull: List[CalibrationPoint]) -> List[Tuple[float, float]]:
@@ -233,6 +238,55 @@ class OctantCalibration:
             value = d_end + (one_way_ms - t_end) * self.SLOW_EXTENSION_SPEED
         # The minimum bound can never exceed the maximum bound.
         return min(value, self.max_distance_km(one_way_ms))
+
+    @staticmethod
+    def _interpolate_vec(ts: np.ndarray, ds: np.ndarray,
+                         delays: np.ndarray) -> np.ndarray:
+        """Batched in-span curve lookup; positions out of span are garbage.
+
+        ``searchsorted(ts[1:], delay, side='left')`` lands on the first
+        segment whose end delay reaches the query — exactly the segment
+        the scalar scan in :meth:`_interpolate` stops at — and the
+        arithmetic mirrors the scalar expression operation for
+        operation, so in-span results are bit-identical.
+        """
+        j = np.searchsorted(ts[1:], delays, side="left")
+        j = np.minimum(j, len(ts) - 2)      # out-of-span queries: harmless
+        t0, t1 = ts[j], ts[j + 1]
+        d0, d1 = ds[j], ds[j + 1]
+        span = t1 - t0
+        tie = span == 0.0
+        fraction = (delays - t0) / np.where(tie, 1.0, span)
+        value = d0 + fraction * (d1 - d0)
+        return np.where(tie, np.maximum(d0, d1), value)
+
+    def max_distance_km_vec(self, one_way_ms: np.ndarray) -> np.ndarray:
+        """Batched :meth:`max_distance_km`; bit-identical element-wise."""
+        delays = np.asarray(one_way_ms, dtype=float)
+        if (delays < 0).any():
+            raise ValueError("negative delay in batch")
+        ts, ds = self._max_ts, self._max_ds
+        inside = np.minimum(self._interpolate_vec(ts, ds, delays),
+                            MAX_SURFACE_DISTANCE_KM)
+        below = (ds[0] * (delays / ts[0])) if ts[0] > 0 else np.full_like(
+            delays, ds[0])
+        above = np.minimum(
+            ds[-1] + (delays - ts[-1]) * self.FAST_EXTENSION_SPEED,
+            MAX_SURFACE_DISTANCE_KM)
+        return np.where(delays < ts[0], below,
+                        np.where(delays > ts[-1], above, inside))
+
+    def min_distance_km_vec(self, one_way_ms: np.ndarray) -> np.ndarray:
+        """Batched :meth:`min_distance_km`; bit-identical element-wise."""
+        delays = np.asarray(one_way_ms, dtype=float)
+        if (delays < 0).any():
+            raise ValueError("negative delay in batch")
+        ts, ds = self._min_ts, self._min_ds
+        inside = self._interpolate_vec(ts, ds, delays)
+        above = ds[-1] + (delays - ts[-1]) * self.SLOW_EXTENSION_SPEED
+        value = np.where(delays < ts[0], 0.0,
+                         np.where(delays > ts[-1], above, inside))
+        return np.minimum(value, self.max_distance_km_vec(one_way_ms))
 
 
 class SpotterCalibration:

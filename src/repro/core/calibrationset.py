@@ -60,8 +60,12 @@ class CalibrationSet:
     def spotter(self) -> SpotterCalibration:
         """The global Spotter model, fitted over the full anchor mesh."""
         if self._spotter is None:
-            points: List = []
             anchors = self.atlas.anchors
+            # One batched materialisation of the full anchor mesh (same
+            # pair order as the loop) instead of O(L²) scalar lookups.
+            self.atlas.ensure_mesh((a, b) for i, a in enumerate(anchors)
+                                   for b in anchors[i + 1:])
+            points: List = []
             for i, a in enumerate(anchors):
                 for b in anchors[i + 1:]:
                     distance = a.host.distance_to(b.host)

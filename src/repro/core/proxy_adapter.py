@@ -71,14 +71,22 @@ def _eta_pairs_with_stats(network: Network, client: Host,
     rng = rng if rng is not None else np.random.default_rng(0)
     pairs: List[Tuple[float, float]] = []
     n_samples = 0
-    for proxy in proxies:
-        if not proxy.responds_to_ping:
-            continue
+    pingable = [proxy for proxy in proxies if proxy.responds_to_ping]
+    if not pingable:
+        return pairs, n_samples
+    # One batched shortest-path call resolves every proxy's direct-leg
+    # floor; the per-proxy loop below then only draws noise.  The sweep
+    # keeps the shared sequential RNG stream byte-identical: `base` skips
+    # no draws, and the loop visits proxies in the original order.
+    bases = network.base_rtt_pairs([client] * len(pingable),
+                                   [proxy.host for proxy in pingable])
+    for proxy, base in zip(pingable, bases):
         with network.measurement_epoch_for(proxy.host):
             tunnel = ProxiedClient(network, client, proxy,
                                    seed=proxy.host.host_id)
             direct_samples = network.rtt_samples_ms(
-                client, proxy.host, samples_per_proxy, rng)
+                client, proxy.host, samples_per_proxy, rng,
+                base=float(base))
             indirect_samples = tunnel.self_ping_through_proxy_samples_ms(
                 samples_per_proxy, rng)
         direct_ok = direct_samples[np.isfinite(direct_samples)]

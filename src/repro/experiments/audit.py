@@ -314,6 +314,15 @@ def run_audit(scenario: Scenario,
             completed = checkpoint.load()
         checkpoint.start(fresh=not resume)
 
+    # Warm the shortest-path engine for every router this audit can
+    # touch — one batched Dijkstra — before any measurement and before
+    # the worker pool forks, so children inherit the rows as
+    # copy-on-write pages (a no-op under the networkx oracle).
+    scenario.network.warm_paths(
+        [scenario.client]
+        + [lm.host for lm in scenario.atlas.all_landmarks()]
+        + [server.host for server in scenario.all_servers()])
+
     with scenario.network.faults_installed(injector):
         eta = estimate_eta(scenario.network, scenario.client,
                            scenario.all_servers(), rng)

@@ -50,6 +50,27 @@ def haversine_km(lat1: float, lon1: float, lat2: float, lon2: float) -> float:
     return 2.0 * EARTH_RADIUS_KM * math.asin(math.sqrt(a))
 
 
+def haversine_km_select(lat1: float, lon1: float,
+                        lats: np.ndarray, lons: np.ndarray) -> np.ndarray:
+    """Distances from one point to many, for *selection* (argmin/argsort).
+
+    Replicates :func:`haversine_km`'s operation order element-wise, so the
+    ordering of candidates matches the scalar loop everywhere except exact
+    float ties (NumPy's SIMD ``sin``/``cos`` can differ from ``math.sin``/
+    ``math.cos`` in the last ulp).  Distinct coordinates essentially never
+    tie at that precision, but callers that need the *value* — not just
+    which candidate wins — must recompute it with :func:`haversine_km`.
+    """
+    phi1 = lat1 * DEG_TO_RAD
+    phi2 = lats * DEG_TO_RAD
+    dphi = (lats - lat1) * DEG_TO_RAD
+    dlam = (lons - lon1) * DEG_TO_RAD
+    a = (np.sin(dphi / 2.0) ** 2
+         + math.cos(phi1) * np.cos(phi2) * np.sin(dlam / 2.0) ** 2)
+    a = np.minimum(1.0, np.maximum(0.0, a))
+    return 2.0 * EARTH_RADIUS_KM * np.arcsin(np.sqrt(a))
+
+
 def haversine_km_vec(lat1: "np.ndarray | float", lon1: "np.ndarray | float",
                      lat2: "np.ndarray | float", lon2: "np.ndarray | float") -> np.ndarray:
     """Vectorised haversine distance; broadcasts like NumPy arithmetic."""

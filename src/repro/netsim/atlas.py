@@ -169,6 +169,42 @@ class AtlasConstellation:
             self._mesh_cache[key] = cached
         return cached
 
+    def ensure_mesh(self, pairs) -> None:
+        """Batch-materialise the archive for an iterable of landmark pairs.
+
+        The deterministic round-trip floors of every not-yet-cached pair
+        come from one vectorised :meth:`Network.base_rtt_pairs` call (one
+        batched Dijkstra over all sources involved) instead of a scalar
+        shortest-path resolution per pair.  Each pair then draws its
+        noise from the same per-pair seeded generator the scalar path
+        uses, in the same caller order, so the cached values are
+        bit-identical to lazy materialisation — including the direction
+        asymmetry: the floor is computed for the pair as *given*, exactly
+        as the first scalar caller would have.
+        """
+        todo = []
+        seen = set()
+        for a, b in pairs:
+            if a.host.host_id == b.host.host_id:
+                continue
+            key = (min(a.host.host_id, b.host.host_id),
+                   max(a.host.host_id, b.host.host_id))
+            if key in self._mesh_cache or key in seen:
+                continue
+            seen.add(key)
+            todo.append((key, a, b))
+        if not todo:
+            return
+        bases = self.network.base_rtt_pairs(
+            [a.host for _, a, _ in todo], [b.host for _, _, b in todo])
+        with self.network.fault_free():
+            for (key, a, b), base in zip(todo, bases):
+                pair_rng = np.random.default_rng(key)
+                rtt = self.network.min_rtt_ms(
+                    a.host, b.host, n=self.CALIBRATION_SAMPLES,
+                    rng=pair_rng, base=float(base))
+                self._mesh_cache[key] = rtt / 2.0
+
     def calibration_data(self, landmark: Landmark,
                          peers: Optional[Sequence[Landmark]] = None
                          ) -> List[Tuple[float, float]]:
@@ -178,6 +214,7 @@ class AtlasConstellation:
         do not ping the full mesh), excluding itself.
         """
         peers = peers if peers is not None else self.anchors
+        self.ensure_mesh((landmark, peer) for peer in peers)
         data: List[Tuple[float, float]] = []
         for peer in peers:
             if peer.host.host_id == landmark.host.host_id:

@@ -14,7 +14,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from ..geodesy.constants import BASELINE_SPEED_KM_PER_MS
-from ..geodesy.greatcircle import haversine_km, validate_latlon
+from ..geodesy.greatcircle import haversine_km, haversine_km_select, validate_latlon
 from .cities import City
 from .topology import RouterId, Topology
 
@@ -58,9 +58,23 @@ class HostFactory:
         self._rng = np.random.default_rng(seed)
         self._next_id = 0
         self.hosts: List[Host] = []
+        # The city list is immutable, so the coordinate arrays the
+        # vectorised nearest-city search scans are built once.
+        self._city_lats = np.array([c.lat for c in topology.cities])
+        self._city_lons = np.array([c.lon for c in topology.cities])
 
     def nearest_city(self, lat: float, lon: float) -> City:
-        """The topologically attachable city closest to a point."""
+        """The topologically attachable city closest to a point.
+
+        One vectorised distance pass over all cities; ``argmin`` returns
+        the first minimum, matching the scalar ``min()`` it replaces.
+        """
+        distances = haversine_km_select(lat, lon,
+                                        self._city_lats, self._city_lons)
+        return self.topology.cities[int(np.argmin(distances))]
+
+    def nearest_city_reference(self, lat: float, lon: float) -> City:
+        """The original scalar nearest-city loop (regression oracle)."""
         return min(self.topology.cities,
                    key=lambda c: haversine_km(lat, lon, c.lat, c.lon))
 

@@ -11,6 +11,7 @@ because routes are circuitous.
 
 from __future__ import annotations
 
+import os
 from contextlib import contextmanager
 from typing import Dict, Optional, Sequence
 
@@ -29,6 +30,13 @@ class Unreachable(Exception):
 class Network:
     """Latency oracle over a :class:`~repro.netsim.topology.Topology`.
 
+    Routed delays resolve through a batched CSR shortest-path engine
+    (:class:`~repro.netsim.pathengine.PathEngine`) by default;
+    ``path_engine="networkx"`` — or ``REPRO_PATH_ENGINE=networkx`` in the
+    environment — restores the original per-source pure-Python Dijkstra
+    oracle.  Both obey the canonical smaller-endpoint rule, so measured
+    RTTs never depend on cache history in either mode.
+
     An optional :class:`~repro.netsim.faults.FaultInjector` can be
     installed (``faults_installed``); it only afflicts samples taken
     inside a measurement epoch (``measurement_epoch_for``), so the mesh
@@ -41,13 +49,26 @@ class Network:
     _PATH_CACHE_SLOTS = 4096
 
     def __init__(self, topology: Topology, seed: int = 0,
-                 faults: Optional[FaultInjector] = None):
+                 faults: Optional[FaultInjector] = None,
+                 path_engine: Optional[str] = None):
+        from .pathengine import ENGINE_ENV, HAVE_SCIPY, PathEngine
+
         self.topology = topology
         self._rng = np.random.default_rng(seed)
         self._sssp_cache: Dict[RouterId, Dict[RouterId, float]] = {}
         self._cached_version = topology.version
         self.faults = faults
         self._fault_time: Optional[float] = None
+        mode = (path_engine if path_engine is not None
+                else os.environ.get(ENGINE_ENV) or "csr")
+        if mode not in ("csr", "networkx"):
+            raise ValueError(f"unknown path engine {mode!r}")
+        if mode == "csr" and not HAVE_SCIPY:
+            mode = "networkx"
+        self.path_engine_mode = mode
+        self._engine: Optional[PathEngine] = (
+            PathEngine(topology) if mode == "csr" else None)
+        self._congestion: Optional[np.ndarray] = None
 
     # -- fault layer ----------------------------------------------------------
 
@@ -119,7 +140,13 @@ class Network:
             cached = nx.single_source_dijkstra_path_length(
                 self.topology.graph, router, weight="latency_ms")
             if len(self._sssp_cache) >= self._PATH_CACHE_SLOTS:
-                self._sssp_cache.clear()
+                # Evict the oldest half (dicts preserve insertion order)
+                # rather than wiping the cache: a full clear mid-audit
+                # forces a thundering-herd recompute of every tree the
+                # working set still needs.
+                drop = len(self._sssp_cache) // 2
+                for key in list(self._sssp_cache)[:drop]:
+                    del self._sssp_cache[key]
             self._sssp_cache[router] = cached
         return cached
 
@@ -127,6 +154,8 @@ class Network:
         """Routed one-way delay between two routers, ms."""
         if a == b:
             return 0.0
+        if self._engine is not None:
+            return self._engine.path_ms(a, b)
         self._check_version()
         # Always resolve from the canonically-smaller endpoint.  The two
         # directions sum the same path in opposite orders and can differ
@@ -141,6 +170,32 @@ class Network:
             return float(distances[target])
         except KeyError:
             raise Unreachable(f"no path between {a!r} and {b!r}") from None
+
+    def path_pairs_ms(self, a_routers: Sequence[RouterId],
+                      b_routers: Sequence[RouterId]) -> np.ndarray:
+        """Routed one-way delays for aligned router pairs, ms.
+
+        In CSR mode every missing shortest-path tree is computed by one
+        batched multi-source Dijkstra; the networkx fallback resolves the
+        pairs one by one.  Both return exactly the floats
+        :meth:`path_one_way_ms` would.
+        """
+        if self._engine is not None:
+            return self._engine.path_pairs_ms(a_routers, b_routers)
+        return np.array([self.path_one_way_ms(a, b)
+                         for a, b in zip(a_routers, b_routers)],
+                        dtype=np.float64)
+
+    def warm_paths(self, hosts: Sequence[Host]) -> None:
+        """Precompute shortest-path rows for a host universe.
+
+        One batched Dijkstra covers every router the hosts attach to;
+        called before an audit forks its worker pool so children inherit
+        the rows copy-on-write.  A no-op in networkx mode (the per-source
+        cache warms lazily there, as before).
+        """
+        if self._engine is not None:
+            self._engine.warm([host.router for host in hosts])
 
     def route(self, a: RouterId, b: RouterId) -> list:
         """The router-level path between two routers (for traceroute).
@@ -163,6 +218,44 @@ class Network:
     def base_rtt_ms(self, a: Host, b: Host) -> float:
         """Deterministic round-trip floor between two hosts, ms."""
         return 2.0 * self.base_one_way_ms(a, b)
+
+    def base_rtt_pairs(self, hosts_a: Sequence[Host],
+                       hosts_b: Sequence[Host]) -> np.ndarray:
+        """Deterministic round-trip floors for aligned host pairs, ms.
+
+        Vectorised :meth:`base_rtt_ms`: routed legs come from one batched
+        shortest-path call, last miles are added element-wise in the same
+        operation order as the scalar path, so each entry is bit-identical
+        to the scalar result.
+        """
+        if len(hosts_a) != len(hosts_b):
+            raise ValueError("host lists disagree in length")
+        paths = self.path_pairs_ms([a.router for a in hosts_a],
+                                   [b.router for b in hosts_b])
+        last_a = np.array([a.last_mile_ms for a in hosts_a], dtype=np.float64)
+        last_b = np.array([b.last_mile_ms for b in hosts_b], dtype=np.float64)
+        return 2.0 * ((last_a + paths) + last_b)
+
+    def base_rtt_matrix(self, a: Host, others: Sequence[Host]) -> np.ndarray:
+        """Round-trip floors from one host to each of ``others``, ms."""
+        if not others:
+            return np.empty(0, dtype=np.float64)
+        paths = self.path_pairs_ms([a.router] * len(others),
+                                   [b.router for b in others])
+        last_b = np.array([b.last_mile_ms for b in others], dtype=np.float64)
+        return 2.0 * ((a.last_mile_ms + paths) + last_b)
+
+    def _congestion_by_city(self) -> np.ndarray:
+        """Per-city congestion scales, indexed by ``city_id``.
+
+        The city list never grows (hosting ASes attach to existing
+        cities), so this is computed once.
+        """
+        if self._congestion is None:
+            self._congestion = np.array(
+                [city.congestion_scale_ms for city in self.topology.cities],
+                dtype=np.float64)
+        return self._congestion
 
     # -- stochastic part ---------------------------------------------------------
 
@@ -198,18 +291,23 @@ class Network:
         return sample
 
     def rtt_samples_ms(self, a: Host, b: Host, n: int,
-                       rng: Optional[np.random.Generator] = None) -> np.ndarray:
+                       rng: Optional[np.random.Generator] = None, *,
+                       base: Optional[float] = None) -> np.ndarray:
         """``n`` independent RTT samples between two hosts, ms.
 
         The noise for all ``n`` samples is drawn in one vectorised pass —
         same distribution as :meth:`rtt_sample_ms`, a fraction of the
         generator overhead.  Audits take hundreds of thousands of
         samples, so this is one of the pipeline's hottest paths.
+        ``base`` lets a batched caller supply the (deterministic)
+        round-trip floor it already computed via :meth:`base_rtt_pairs`;
+        it must equal ``base_rtt_ms(a, b)`` exactly.
         """
         if n < 1:
             raise ValueError(f"need at least one sample: {n!r}")
         rng = rng if rng is not None else self._rng
-        base = self.base_rtt_ms(a, b)
+        if base is None:
+            base = self.base_rtt_ms(a, b)
         scale = (self.topology.city(a.city_id).congestion_scale_ms
                  + self.topology.city(b.city_id).congestion_scale_ms)
         noise = rng.exponential(scale, size=n)
@@ -239,11 +337,11 @@ class Network:
         k = len(others)
         if k == 0:
             return np.empty((0, n))
-        bases = np.array([self.base_rtt_ms(a, b) for b in others])
+        bases = self.base_rtt_matrix(a, others)
         scale_a = self.topology.city(a.city_id).congestion_scale_ms
-        scales = np.array(
-            [scale_a + self.topology.city(b.city_id).congestion_scale_ms
-             for b in others])
+        city_ids = np.fromiter((b.city_id for b in others),
+                               dtype=np.intp, count=k)
+        scales = scale_a + self._congestion_by_city()[city_ids]
         noise = rng.exponential(1.0, size=(k, n)) * scales[:, None]
         spikes = rng.random((k, n)) < 0.02
         n_spikes = int(spikes.sum())
@@ -260,14 +358,17 @@ class Network:
         return samples
 
     def min_rtt_ms(self, a: Host, b: Host, n: int = 3,
-                   rng: Optional[np.random.Generator] = None) -> float:
+                   rng: Optional[np.random.Generator] = None, *,
+                   base: Optional[float] = None) -> float:
         """Minimum of ``n`` RTT samples — what ping-based tools report.
 
         Raises :class:`~repro.netsim.faults.MeasurementFailed` when every
         sample in the burst was lost or timed out, rather than handing an
         ``inf``/``nan`` downstream for the bestline fits to choke on.
+        ``base`` is forwarded to :meth:`rtt_samples_ms` for batched
+        callers that precomputed the round-trip floor.
         """
-        samples = self.rtt_samples_ms(a, b, n, rng)
+        samples = self.rtt_samples_ms(a, b, n, rng, base=base)
         finite = samples[np.isfinite(samples)]
         if finite.size == 0:
             raise MeasurementFailed(

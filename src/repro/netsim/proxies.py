@@ -281,10 +281,24 @@ class ProxiedClient:
         self.proxy = proxy
         self._rng = np.random.default_rng(seed)
         self._burst_index = 0
+        self._client_base: Optional[Tuple[int, float]] = None
 
     def _overhead(self, rng: np.random.Generator) -> float:
         low, high = self.PROXY_OVERHEAD_MS
         return float(rng.uniform(low, high))
+
+    def _client_leg_base(self) -> float:
+        """The client→proxy round-trip floor, resolved once per tunnel.
+
+        Every burst through the tunnel reuses the same host pair, so the
+        deterministic floor is cached (keyed on the topology version) and
+        handed to the samplers instead of being re-resolved per burst.
+        """
+        version = self.network.topology.version
+        if self._client_base is None or self._client_base[0] != version:
+            self._client_base = (
+                version, self.network.base_rtt_ms(self.client, self.proxy.host))
+        return self._client_base[1]
 
     def rtt_through_proxy_ms(self, landmark: Landmark,
                              rng: Optional[np.random.Generator] = None) -> float:
@@ -300,7 +314,8 @@ class ProxiedClient:
         """``n`` tunnelled RTT samples to a landmark, drawn in batch."""
         rng = rng if rng is not None else self._rng
         legs_client = self.network.rtt_samples_ms(
-            self.client, self.proxy.host, n, rng)
+            self.client, self.proxy.host, n, rng,
+            base=self._client_leg_base())
         legs_landmark = self.network.rtt_samples_ms(
             self.proxy.host, landmark.host, n, rng)
         low, high = self.PROXY_OVERHEAD_MS
@@ -320,7 +335,8 @@ class ProxiedClient:
         if k == 0:
             return np.empty((0, n))
         legs_client = self.network.rtt_samples_ms(
-            self.client, self.proxy.host, k * n, rng).reshape(k, n)
+            self.client, self.proxy.host, k * n, rng,
+            base=self._client_leg_base()).reshape(k, n)
         legs_landmark = self.network.rtt_samples_matrix_ms(
             self.proxy.host, [lm.host for lm in landmarks], n, rng)
         low, high = self.PROXY_OVERHEAD_MS
@@ -356,10 +372,11 @@ class ProxiedClient:
                                            ) -> np.ndarray:
         """``n`` tunnel self-ping samples, drawn in batch."""
         rng = rng if rng is not None else self._rng
+        base = self._client_leg_base()
         legs_out = self.network.rtt_samples_ms(
-            self.client, self.proxy.host, n, rng)
+            self.client, self.proxy.host, n, rng, base=base)
         legs_back = self.network.rtt_samples_ms(
-            self.client, self.proxy.host, n, rng)
+            self.client, self.proxy.host, n, rng, base=base)
         low, high = self.PROXY_OVERHEAD_MS
         return legs_out + legs_back + rng.uniform(low, high, size=n)
 

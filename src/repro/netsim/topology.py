@@ -30,7 +30,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import networkx as nx
 import numpy as np
 
-from ..geodesy.constants import BASELINE_SPEED_KM_PER_MS
+from ..geodesy.constants import BASELINE_SPEED_KM_PER_MS, DEG_TO_RAD
 from ..geodesy.greatcircle import haversine_km
 from .cities import City
 
@@ -136,12 +136,71 @@ def _spanning_links(city_ids: Sequence[int], cities: List[City],
     Produces a connected intra-AS backbone whose paths are somewhat
     circuitous (traffic follows the tree) but with enough shortcuts for
     route diversity in dense regions.
+
+    Vectorised Prim over a pairwise distance matrix; link *selection* and
+    link *order* match :func:`_spanning_links_reference` (the original
+    scalar loops) — distances only pick edges, every edge latency is
+    drawn later from the same scalar formula, so the resulting topology
+    is identical (regression-tested).
     """
+    ids = list(city_ids)
+    n = len(ids)
+    if n == 1:
+        return []
+    lats = np.array([cities[i].lat for i in ids])
+    lons = np.array([cities[i].lon for i in ids])
+    phi = lats * DEG_TO_RAD
+    dphi = (lats[None, :] - lats[:, None]) * DEG_TO_RAD
+    dlam = (lons[None, :] - lons[:, None]) * DEG_TO_RAD
+    a = (np.sin(dphi / 2.0) ** 2
+         + np.cos(phi)[:, None] * np.cos(phi)[None, :]
+         * np.sin(dlam / 2.0) ** 2)
+    np.clip(a, 0.0, 1.0, out=a)
+    distance = np.arcsin(np.sqrt(a))    # omitted constant factor: order-preserving
+    links: List[Tuple[int, int]] = []
+    # Prim's algorithm: track, per city outside the tree, the nearest
+    # tree city seen so far; each round adds the globally nearest pair.
+    visited = np.zeros(n, dtype=bool)
+    visited[0] = True
+    best_d = distance[0].copy()
+    best_u = np.zeros(n, dtype=np.intp)
+    for _ in range(n - 1):
+        masked = np.where(visited, np.inf, best_d)
+        v = int(np.argmin(masked))
+        links.append((ids[int(best_u[v])], ids[v]))
+        visited[v] = True
+        improve = distance[v] < best_d
+        best_u[improve] = v
+        best_d = np.minimum(best_d, distance[v])
+    # Shortcuts: each city also links to its nearest non-tree neighbours.
+    if extra_per_node > 0 and n > 3:
+        existing = {frozenset(link) for link in links}
+        order = np.argsort(distance, axis=1, kind="stable")
+        for i in range(n):
+            u = ids[i]
+            added = 0
+            for j in order[i]:
+                v = ids[int(j)]
+                if v == u:          # self-distance 0 sorts first; skip it
+                    continue
+                key = frozenset((u, v))
+                if key in existing:
+                    continue
+                links.append((u, v))
+                existing.add(key)
+                added += 1
+                if added >= extra_per_node:
+                    break
+    return links
+
+
+def _spanning_links_reference(city_ids: Sequence[int], cities: List[City],
+                              extra_per_node: int = 1) -> List[Tuple[int, int]]:
+    """The original scalar spanning-link construction (regression oracle)."""
     ids = list(city_ids)
     if len(ids) == 1:
         return []
     links: List[Tuple[int, int]] = []
-    # Prim's algorithm over great-circle distances.
     in_tree = {ids[0]}
     remaining = set(ids[1:])
     while remaining:
@@ -159,7 +218,6 @@ def _spanning_links(city_ids: Sequence[int], cities: List[City],
         links.append(best)
         in_tree.add(best[1])
         remaining.discard(best[1])
-    # Shortcuts: each city also links to its nearest non-tree neighbours.
     if extra_per_node > 0 and len(ids) > 3:
         existing = {frozenset(link) for link in links}
         for u in ids:

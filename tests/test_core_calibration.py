@@ -136,6 +136,54 @@ class TestOctantCalibration:
             model.min_distance_km(-1.0)
 
 
+class TestOctantVectorised:
+    """The batched curve lookups must equal the scalar methods bit for bit."""
+
+    def _assert_batch_matches(self, model, delays):
+        delays = np.asarray(delays, dtype=float)
+        vec_max = model.max_distance_km_vec(delays)
+        vec_min = model.min_distance_km_vec(delays)
+        scalar_max = np.array([model.max_distance_km(float(t))
+                               for t in delays])
+        scalar_min = np.array([model.min_distance_km(float(t))
+                               for t in delays])
+        assert np.array_equal(vec_max, scalar_max)
+        assert np.array_equal(vec_min, scalar_min)
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_random_calibrations_and_queries(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(5, 80))
+        distances = rng.uniform(0, 15000, n)
+        delays = distances / rng.uniform(50, 200, n) + rng.uniform(0, 30, n)
+        try:
+            model = OctantCalibration(list(zip(distances, delays)))
+        except ValueError:
+            return                  # degenerate draw: too few hull points
+        queries = np.concatenate([
+            rng.uniform(0.0, delays.max() * 2.0, 200),
+            [0.0, float(delays.max()) * 5.0],
+            model._max_ts, model._min_ts,        # exact curve vertices
+            np.nextafter(model._max_ts, np.inf), # just past each vertex
+        ])
+        self._assert_batch_matches(model, queries)
+
+    def test_spans_every_branch(self):
+        model = OctantCalibration(synthetic_calibration())
+        below = model._max_ts[0] * 0.5
+        above = model._max_ts[-1] * 3.0
+        inside = (model._max_ts[0] + model._max_ts[-1]) / 2.0
+        self._assert_batch_matches(model, [below, inside, above])
+
+    def test_negative_batch_rejected(self):
+        model = OctantCalibration(synthetic_calibration())
+        with pytest.raises(ValueError):
+            model.max_distance_km_vec(np.array([1.0, -0.5]))
+        with pytest.raises(ValueError):
+            model.min_distance_km_vec(np.array([-1.0]))
+
+
 class TestSpotterCalibration:
     def test_mu_monotone_in_delay(self):
         model = SpotterCalibration(synthetic_calibration(n=500, seed=3))

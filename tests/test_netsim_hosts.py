@@ -68,3 +68,18 @@ class TestFactory:
         before = len(factory.hosts)
         factory.create(5.0, 5.0)
         assert len(factory.hosts) == before + 1
+
+
+class TestVectorisedNearestCity:
+    def test_matches_scalar_reference(self, factory):
+        import numpy as np
+        rng = np.random.default_rng(21)
+        for _ in range(300):
+            lat = float(rng.uniform(-89.0, 89.0))
+            lon = float(rng.uniform(-179.0, 179.0))
+            assert (factory.nearest_city(lat, lon)
+                    == factory.nearest_city_reference(lat, lon))
+
+    def test_exactly_on_a_city(self, factory):
+        for city in factory.topology.cities[::17]:
+            assert factory.nearest_city(city.lat, city.lon) == city

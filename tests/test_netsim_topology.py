@@ -99,3 +99,45 @@ class TestDeterminism:
         edges_a = {frozenset(e) for e in a.graph.edges}
         edges_b = {frozenset(e) for e in b.graph.edges}
         assert edges_a != edges_b
+
+
+class TestVectorisedSpanningLinks:
+    """The vectorised Prim must reproduce the scalar reference exactly.
+
+    Link *order* matters, not just the link set: the latency draw
+    consumes one RNG value per link in sequence, so any reordering
+    would silently change every downstream measurement.
+    """
+
+    def test_matches_reference_on_random_subsets(self):
+        from repro.netsim.topology import (_spanning_links,
+                                           _spanning_links_reference)
+        cities = build_cities()
+        rng = np.random.default_rng(7)
+        for _ in range(60):
+            k = int(rng.integers(2, 40))
+            ids = [int(i) for i in rng.choice(len(cities), size=k,
+                                              replace=False)]
+            assert (_spanning_links(ids, cities)
+                    == _spanning_links_reference(ids, cities))
+
+    def test_single_city_has_no_links(self):
+        from repro.netsim.topology import _spanning_links
+        assert _spanning_links([3], build_cities()) == []
+
+    def test_full_build_matches_reference_prim(self):
+        import repro.netsim.topology as topo
+        cities = build_cities()
+        fast = build_topology(cities, seed=1)
+        original = topo._spanning_links
+        topo._spanning_links = topo._spanning_links_reference
+        try:
+            slow = build_topology(cities, seed=1)
+        finally:
+            topo._spanning_links = original
+        assert set(fast.graph.nodes) == set(slow.graph.nodes)
+        fast_edges = {tuple(sorted(e)): d["latency_ms"]
+                      for *e, d in fast.graph.edges(data=True)}
+        slow_edges = {tuple(sorted(e)): d["latency_ms"]
+                      for *e, d in slow.graph.edges(data=True)}
+        assert fast_edges == slow_edges   # bit-identical latencies

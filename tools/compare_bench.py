@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Compare a fresh pytest-benchmark JSON export against the committed baseline.
+
+Usage: python tools/compare_bench.py FRESH.json [BASELINE.json]
+
+The baseline defaults to ``BENCH_perf.json`` at the repository root.  The
+hard performance gates live *inside* the benchmarks (same-run ratios and
+absolute budgets); this comparison is a coarse cross-machine tripwire: a
+benchmark whose minimum is ``FAIL_RATIO`` times slower than the recorded
+baseline minimum fails the job, anything less is reported but tolerated
+(CI runners vary widely in speed).  Benchmarks present on only one side
+are reported and skipped.
+"""
+
+import json
+import os
+import sys
+
+#: A fresh minimum this many times the baseline minimum fails the job.
+FAIL_RATIO = 3.0
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def _load(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    return {bench["fullname"]: bench["stats"]["min"]
+            for bench in payload.get("benchmarks", [])}
+
+
+def main(argv):
+    if not 2 <= len(argv) <= 3:
+        print(__doc__)
+        return 2
+    fresh_path = argv[1]
+    baseline_path = (argv[2] if len(argv) == 3
+                     else os.path.join(_ROOT, "BENCH_perf.json"))
+    if not os.path.exists(baseline_path):
+        print(f"no baseline at {baseline_path}; nothing to compare")
+        return 0
+    fresh = _load(fresh_path)
+    baseline = _load(baseline_path)
+    failures = []
+    width = max((len(name) for name in fresh), default=20)
+    for name in sorted(fresh):
+        if name not in baseline:
+            print(f"{name:<{width}}  NEW (no baseline)")
+            continue
+        ratio = fresh[name] / baseline[name]
+        flag = ""
+        if ratio >= FAIL_RATIO:
+            flag = f"  <-- FAIL (>= {FAIL_RATIO:.1f}x baseline)"
+            failures.append(name)
+        print(f"{name:<{width}}  {fresh[name]:9.4f}s vs "
+              f"{baseline[name]:9.4f}s  ({ratio:5.2f}x){flag}")
+    for name in sorted(set(baseline) - set(fresh)):
+        print(f"{name:<{width}}  MISSING from fresh run")
+    if failures:
+        print(f"\n{len(failures)} benchmark(s) regressed past "
+              f"{FAIL_RATIO:.1f}x the committed baseline")
+        return 1
+    print("\nall benchmarks within tolerance of the committed baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
