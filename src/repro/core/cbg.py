@@ -18,7 +18,7 @@ import numpy as np
 
 from ..geodesy.constants import BASELINE_SPEED_KM_PER_MS, MAX_SURFACE_DISTANCE_KM
 from .base import GeolocationAlgorithm, Prediction
-from .multilateration import DiskConstraint, intersect_disks
+from .multilateration import DiskConstraint, intersect_disk_fields
 from .observations import RttObservation
 
 
@@ -110,9 +110,19 @@ class CBG(GeolocationAlgorithm):
 
     def predict(self, observations: Sequence[RttObservation]) -> Prediction:
         observations = self._prepare(observations)
-        region = intersect_disks(self.grid, self.disks(observations))
+        # Radii straight from the vectorised panel lookup (float-identical
+        # to building DiskConstraint objects one calibration at a time);
+        # the kernel emits the intersection in the engine's native
+        # representation — packed words by default.
+        names = [obs.landmark_name for obs in observations]
+        delays = np.array([obs.one_way_ms for obs in observations])
+        region = intersect_disk_fields(
+            self.grid,
+            [obs.lat for obs in observations],
+            [obs.lon for obs in observations],
+            self.disk_radii_km(names, delays))
         return Prediction(
             algorithm=self.name,
             region=self._clip(region),
-            used_landmarks=[obs.landmark_name for obs in observations],
+            used_landmarks=names,
         )

@@ -21,11 +21,11 @@ location in every case — at the price of somewhat larger regions.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
-from ..geo.region import Region
+from ..geo.region import Region, region_engine
 from .base import Prediction
 from .cbg import CBG
 from .multilateration import DiskConstraint, largest_consistent_subset
@@ -65,23 +65,32 @@ class CBGPlusPlus(CBG):
 
         # Both disk families share centres — only radii differ — so one
         # fused pass over the bank's block aggregates yields the AND of
-        # all baseline disks *and* the AND of all disks at once.
+        # all baseline disks *and* the AND of all disks at once, emitted
+        # straight in the engine's native representation.
         best_radii = self.disk_radii_km(names, delays).astype(np.float32)
         base_radii = self.baseline_radii_km(delays).astype(np.float32)
         joint_radii = np.minimum(base_radii, best_radii)
-        base_and, joint_and = grid.bank.disk_intersections(
-            lats, lons, np.stack([base_radii, joint_radii]))
+        packed = region_engine() == "packed"
+        families = grid.bank.disk_intersections(
+            lats, lons, np.stack([base_radii, joint_radii]), packed=packed)
+        if packed:
+            base_and = Region.from_words(grid, families[0])
+            joint_and: Optional[Region] = Region.from_words(grid, families[1])
+        else:
+            base_and = Region(grid, families[0])
+            joint_and = Region(grid, families[1])
 
         # Tier 1: the baseline region — largest consistent family of
         # physically-maximal disks.  The plain AND answers the common
         # consistent case; only conflicting baselines pay for the full
         # subset search.
-        if base_and.any():
-            baseline_region_mask = base_and
+        if not base_and.is_empty:
+            baseline_region = base_and
         else:
             fields = grid.bank.field_block(lats, lons)
             baseline_masks = fields <= base_radii[:, None]
             _, baseline_region_mask = largest_consistent_subset(baseline_masks)
+            baseline_region = Region(grid, baseline_region_mask)
             joint_and = None   # was relative to the unreduced baseline AND
 
         # Tier 2: drop bestline disks that do not overlap the baseline
@@ -89,12 +98,12 @@ class CBGPlusPlus(CBG):
         # consistent family of the survivors.  When the joint AND is
         # non-empty every bestline disk overlaps and all are mutually
         # consistent — no search needed.
-        if joint_and is not None and joint_and.any():
-            final_mask = joint_and
+        if joint_and is not None and not joint_and.is_empty:
+            final_region = joint_and
             chosen = list(names)
             discarded: List[str] = []
         else:
-            baseline_cells = np.flatnonzero(baseline_region_mask)
+            baseline_cells = baseline_region.cell_indices()
             fields = grid.bank.field_block(lats, lons)
             sub_bestline = fields[:, baseline_cells] <= best_radii[:, None]
             overlap = sub_bestline.any(axis=1)
@@ -118,13 +127,14 @@ class CBGPlusPlus(CBG):
                 # the baseline region itself.
                 final_mask[baseline_cells] = True
                 chosen = []
+            final_region = Region(grid, final_mask)
 
-        region = self._clip(Region(grid, final_mask))
-        if region.is_empty and baseline_region_mask.any():
+        region = self._clip(final_region)
+        if region.is_empty and not baseline_region.is_empty:
             # Clipping can empty a tiny coastal region; fall back to the
             # clipped baseline region so the algorithm never predicts
             # "nowhere" while a consistent baseline family exists.
-            region = self._clip(Region(grid, baseline_region_mask))
+            region = self._clip(baseline_region)
         return Prediction(
             algorithm=self.name,
             region=region,
@@ -152,6 +162,6 @@ class CBGPlusPlus(CBG):
                 effective.append(obs.landmark_name)
                 continue
             without = self.predict(others)
-            if not np.array_equal(without.region.mask, full.region.mask):
+            if without.region != full.region:
                 effective.append(obs.landmark_name)
         return effective

@@ -20,7 +20,7 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..geo.grid import Grid
-from ..geo.region import Region
+from ..geo.region import Region, pack_bits, region_engine, unpack_bits
 
 
 @dataclass(frozen=True)
@@ -55,35 +55,74 @@ class GaussianRing:
     sigma_km: float
 
 
-def intersect_disks(grid: Grid, disks: Sequence[DiskConstraint]) -> Region:
-    """Plain CBG multilateration: the AND of every disk.
+def intersect_disk_fields(grid: Grid, lats: Sequence[float],
+                          lons: Sequence[float],
+                          radii: np.ndarray) -> Region:
+    """AND of per-landmark disks given raw centre/radius arrays.
 
     Evaluated through the bank's block-level intersection kernel: whole
     coarse blocks strictly inside (or outside) every disk are settled
     from precomputed block aggregates, and only cells near some disk
     boundary are compared exactly — bit-identical to rasterising each
-    disk over the full grid, at a fraction of the memory traffic.
+    disk over the full grid, at a fraction of the memory traffic.  Under
+    the packed engine the kernel emits uint64 words that the region
+    adopts without ever materialising a boolean row.
     """
-    if not disks:
+    if len(lats) == 0:
         raise ValueError("no disks to intersect")
-    lats = [d.lat for d in disks]
-    lons = [d.lon for d in disks]
-    radii = np.array([d.radius_km for d in disks], dtype=np.float32)
+    radii = np.asarray(radii, dtype=np.float32)
     if (radii < 0).any():
         raise ValueError("negative disk radius")
+    if region_engine() == "packed":
+        words = grid.bank.disk_intersections(
+            lats, lons, radii[None, :], packed=True)[0]
+        return Region.from_words(grid, words)
     mask = grid.bank.disk_intersections(lats, lons, radii[None, :])[0]
     return Region(grid, mask)
 
 
+def intersect_disks(grid: Grid, disks: Sequence[DiskConstraint]) -> Region:
+    """Plain CBG multilateration: the AND of every disk."""
+    if not disks:
+        raise ValueError("no disks to intersect")
+    return intersect_disk_fields(
+        grid, [d.lat for d in disks], [d.lon for d in disks],
+        np.array([d.radius_km for d in disks], dtype=np.float32))
+
+
 def intersect_rings(grid: Grid, rings: Sequence[RingConstraint]) -> Region:
-    """Quasi-Octant multilateration: the AND of every annulus."""
+    """Quasi-Octant multilateration: the AND of every annulus.
+
+    The bank AND-reduces ring by ring, so the historical ``(k, n_cells)``
+    boolean matrix is never materialised; under the packed engine the
+    reduced row is emitted directly as uint64 words.
+    """
     if not rings:
         raise ValueError("no rings to intersect")
     bank = grid.bank
-    masks = bank.ring_masks(
-        [r.lat for r in rings], [r.lon for r in rings],
-        [r.inner_km for r in rings], [r.outer_km for r in rings])
-    return Region(grid, masks.all(axis=0))
+    lats = [r.lat for r in rings]
+    lons = [r.lon for r in rings]
+    inner = [r.inner_km for r in rings]
+    outer = [r.outer_km for r in rings]
+    if region_engine() == "packed":
+        return Region.from_words(
+            grid, bank.ring_intersection(lats, lons, inner, outer, packed=True))
+    return Region(grid, bank.ring_intersection(lats, lons, inner, outer))
+
+
+def mode_region_from_votes(grid: Grid, votes: np.ndarray,
+                           base_mask: Optional[np.ndarray] = None) -> Region:
+    """Cells holding the maximum vote count (see :func:`mode_region`).
+
+    ``votes`` is consumed destructively (cells outside ``base_mask`` are
+    zeroed in place); callers pass a freshly accumulated row.
+    """
+    if base_mask is not None:
+        votes[~base_mask] = 0
+    top = int(votes.max())
+    if top == 0:
+        return Region.empty(grid)
+    return Region(grid, votes == top)
 
 
 def mode_region(grid: Grid, masks: Sequence[np.ndarray],
@@ -101,12 +140,7 @@ def mode_region(grid: Grid, masks: Sequence[np.ndarray],
     if matrix.shape[0] == 0:
         raise ValueError("no masks supplied")
     votes = matrix.sum(axis=0, dtype=np.int32)
-    if base_mask is not None:
-        votes[~base_mask] = 0
-    top = int(votes.max())
-    if top == 0:
-        return Region.empty(grid)
-    return Region(grid, votes == top)
+    return mode_region_from_votes(grid, votes, base_mask)
 
 
 def _as_mask_matrix(masks) -> np.ndarray:
@@ -127,21 +161,17 @@ def pack_mask_matrix(matrix: np.ndarray) -> np.ndarray:
     """Pack boolean masks into rows of uint64 words (bitsets).
 
     Padding bits beyond the mask length are zero, so word-level AND/any
-    on packed rows agrees exactly with the boolean operations.
+    on packed rows agrees exactly with the boolean operations.  The
+    canonical packing lives in :mod:`repro.geo.region` (it is the native
+    :class:`Region` layout); this wrapper adds the mask-matrix
+    normalisation the subset search wants.
     """
-    matrix = _as_mask_matrix(matrix)
-    packed8 = np.packbits(matrix, axis=-1)
-    pad = (-packed8.shape[-1]) % 8
-    if pad:
-        packed8 = np.concatenate(
-            [packed8, np.zeros((packed8.shape[0], pad), dtype=np.uint8)],
-            axis=-1)
-    return np.ascontiguousarray(packed8).view(np.uint64)
+    return pack_bits(_as_mask_matrix(matrix))
 
 
 def unpack_mask_words(words: np.ndarray, n_bits: int) -> np.ndarray:
     """Invert :func:`pack_mask_matrix` for a single packed row."""
-    return np.unpackbits(words.view(np.uint8), count=n_bits).astype(bool)
+    return unpack_bits(words, n_bits)
 
 
 def _dfs_improve(rows, order: List[int], best_count: int, n: int,
@@ -288,6 +318,61 @@ def largest_consistent_subset(masks: Sequence[np.ndarray],
     return sorted(improved), finish(final)
 
 
+#: Initial candidate count for the top-k credible-mass selection; grows
+#: 4x until the mass cutoff falls inside the candidate prefix.
+_TOPK_INITIAL = 1024
+
+
+def _credible_mask_argsort(cell_mass: np.ndarray, total: float,
+                           mass: float) -> np.ndarray:
+    """Reference credible-set selection via a full stable sort.
+
+    Cells are ranked by posterior mass descending; ties (notably the
+    zero-mass tail) break toward the **lower cell index** (the stable
+    sort keeps original order).  The returned mask holds the shortest
+    such prefix whose cumulative mass reaches ``mass``.
+    """
+    order = np.argsort(-cell_mass, kind="stable")
+    cumulative = np.cumsum(cell_mass[order]) / total
+    cutoff = int(np.searchsorted(cumulative, mass)) + 1
+    mask = np.zeros(len(cell_mass), dtype=bool)
+    mask[order[:cutoff]] = True
+    return mask
+
+
+def _credible_mask_topk(cell_mass: np.ndarray, total: float,
+                        mass: float) -> np.ndarray:
+    """Partition-based credible-set selection (no full-grid sort).
+
+    Bit-identical to :func:`_credible_mask_argsort`: ``np.partition``
+    finds the k-th largest mass ``t``, the cells above ``t`` are stably
+    ordered (mass descending, then cell index ascending — the same
+    tie-break as the stable argsort), and the ``== t`` tie group follows
+    in ascending index, exactly as the stable sort would emit it.  The
+    cumulative prefix sums equal the reference's leading sums ulp for
+    ulp (``np.cumsum`` accumulates sequentially), so the searchsorted
+    cutoff lands on the same cell.  If the cutoff falls outside the
+    candidate prefix, k grows 4x; past the grid size we fall back to the
+    reference sort.
+    """
+    n = len(cell_mass)
+    k = min(_TOPK_INITIAL, n)
+    while k < n:
+        threshold = np.partition(cell_mass, n - k)[n - k]
+        above = np.flatnonzero(cell_mass > threshold)
+        tied = np.flatnonzero(cell_mass == threshold)
+        prefix = np.concatenate(
+            [above[np.lexsort((above, -cell_mass[above]))], tied])
+        cumulative = np.cumsum(cell_mass[prefix]) / total
+        position = int(np.searchsorted(cumulative, mass))
+        if position < len(prefix):
+            mask = np.zeros(n, dtype=bool)
+            mask[prefix[:position + 1]] = True
+            return mask
+        k *= 4
+    return _credible_mask_argsort(cell_mass, total, mass)
+
+
 def bayesian_region(grid: Grid, rings: Sequence[GaussianRing],
                     mass: float = 0.95,
                     prior_mask: Optional[np.ndarray] = None) -> Region:
@@ -295,7 +380,10 @@ def bayesian_region(grid: Grid, rings: Sequence[GaussianRing],
 
     Accumulates per-landmark Gaussian ring log-likelihoods over the grid
     (Bayes' rule with a flat — or masked — prior), then returns the
-    smallest set of cells containing ``mass`` of the posterior.
+    smallest set of cells containing ``mass`` of the posterior.  The
+    credible set is selected with a partition-based top-k (only the cells
+    that can reach the cutoff get sorted); ties break toward the lower
+    cell index — see :func:`_credible_mask_argsort` for the reference.
     """
     if not rings:
         raise ValueError("no rings supplied")
@@ -316,9 +404,4 @@ def bayesian_region(grid: Grid, rings: Sequence[GaussianRing],
     total = cell_mass.sum()
     if total <= 0:
         return Region.empty(grid)
-    order = np.argsort(-cell_mass)
-    cumulative = np.cumsum(cell_mass[order]) / total
-    cutoff = int(np.searchsorted(cumulative, mass)) + 1
-    mask = np.zeros(grid.n_cells, dtype=bool)
-    mask[order[:cutoff]] = True
-    return Region(grid, mask)
+    return Region(grid, _credible_mask_topk(cell_mass, float(total), mass))

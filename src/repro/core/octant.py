@@ -14,7 +14,7 @@ from typing import Dict, List, Sequence
 import numpy as np
 
 from .base import GeolocationAlgorithm, Prediction
-from .multilateration import RingConstraint, mode_region
+from .multilateration import RingConstraint, mode_region_from_votes
 from .observations import RttObservation
 
 
@@ -58,11 +58,14 @@ class QuasiOctant(GeolocationAlgorithm):
     def predict(self, observations: Sequence[RttObservation]) -> Prediction:
         observations = self._prepare(observations)
         rings = self.rings(observations)
-        masks = self.grid.bank.ring_masks(
+        # The bank accumulates the votes ring by ring (integer addition
+        # is exact, so this equals summing the full mask matrix) without
+        # ever materialising the (k, n_cells) boolean matrix.
+        votes = self.grid.bank.ring_votes(
             [r.lat for r in rings], [r.lon for r in rings],
             [r.inner_km for r in rings], [r.outer_km for r in rings])
-        region = mode_region(self.grid, masks,
-                             base_mask=self.worldmap.plausibility_mask)
+        region = mode_region_from_votes(
+            self.grid, votes, base_mask=self.worldmap.plausibility_mask)
         return Prediction(
             algorithm=self.name,
             region=self._clip(region),

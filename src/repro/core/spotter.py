@@ -4,7 +4,11 @@ A single, globally fitted cubic model gives the mean and standard
 deviation of distance as a function of delay.  Each landmark contributes a
 ring-shaped Gaussian likelihood over the Earth's surface; rings combine by
 Bayes' rule, and the prediction is the smallest region holding 95 % of the
-posterior mass.
+posterior mass.  The credible set comes from
+:func:`~repro.core.multilateration.bayesian_region`'s partition-based
+top-k selection (ties break toward the lower cell index), and lands in
+the engine's native packed-region representation like every other
+front-end.
 """
 
 from __future__ import annotations

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import itertools
 import multiprocessing
-from collections import OrderedDict
+from collections import OrderedDict, namedtuple
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
@@ -161,7 +161,9 @@ def _payload_for(scenario: Scenario, driver: TwoPhaseDriver,
                  seed: int) -> ServerPayload:
     region, assessment, observations, names, degraded, notes = _audit_one(
         scenario, driver, servers[index], eta, seed)
-    return (index, np.packbits(region.mask).tobytes(), assessment,
+    # packed_bytes() emits exactly np.packbits(region.mask).tobytes(),
+    # straight from the packed words when the region is packed-native.
+    return (index, region.packed_bytes(), assessment,
             observations, names, degraded, notes)
 
 
@@ -184,10 +186,11 @@ def _record_from(server: ProxyServer, region: Region,
 def _record_from_payload(servers: List[ProxyServer], grid,
                          payload: ServerPayload) -> AuditRecord:
     index, packed, assessment, observations, names, degraded, notes = payload
-    mask = np.unpackbits(np.frombuffer(packed, dtype=np.uint8),
-                         count=grid.n_cells).astype(bool)
-    return _record_from(servers[index], Region(grid, mask), assessment,
-                        observations, names, degraded, notes)
+    # Under the packed engine the payload bytes are adopted as uint64
+    # words without ever materialising the per-record boolean mask —
+    # the source of the fleet audit's ~8x region-memory reduction.
+    return _record_from(servers[index], Region.from_packbits(grid, packed),
+                        assessment, observations, names, degraded, notes)
 
 
 def _fork_worker(indices: List[int]) -> List[ServerPayload]:
@@ -362,7 +365,11 @@ def run_audit(scenario: Scenario,
 
 _AUDIT_CACHE: "OrderedDict[tuple, AuditResult]" = OrderedDict()
 _AUDIT_CACHE_SLOTS = 8
+_AUDIT_CACHE_STATS = {"hits": 0, "misses": 0}
 _scenario_tokens = itertools.count()
+
+AuditCacheInfo = namedtuple("AuditCacheInfo",
+                            ["hits", "misses", "maxsize", "currsize"])
 
 
 def _scenario_token(scenario: Scenario) -> int:
@@ -388,14 +395,38 @@ def cached_audit(scenario: Scenario, max_servers: Optional[int] = None,
     per figure would dominate the benchmark harness.  Bounded LRU: the
     oldest audit is dropped once ``_AUDIT_CACHE_SLOTS`` distinct
     (scenario, max_servers, seed) combinations have been seen.
+
+    ``cached_audit.cache_info()`` reports hit/miss counters (the perf
+    benches use them to prove cache effectiveness) and
+    ``cached_audit.cache_clear()`` empties both the cache and the
+    counters, mirroring :func:`functools.lru_cache`'s wrapper API.
     """
     key = (_scenario_token(scenario), max_servers, seed)
     result = _AUDIT_CACHE.get(key)
     if result is None:
+        _AUDIT_CACHE_STATS["misses"] += 1
         result = run_audit(scenario, max_servers=max_servers, seed=seed)
         while len(_AUDIT_CACHE) >= _AUDIT_CACHE_SLOTS:
             _AUDIT_CACHE.popitem(last=False)
         _AUDIT_CACHE[key] = result
     else:
+        _AUDIT_CACHE_STATS["hits"] += 1
         _AUDIT_CACHE.move_to_end(key)
     return result
+
+
+def _audit_cache_info() -> AuditCacheInfo:
+    return AuditCacheInfo(hits=_AUDIT_CACHE_STATS["hits"],
+                          misses=_AUDIT_CACHE_STATS["misses"],
+                          maxsize=_AUDIT_CACHE_SLOTS,
+                          currsize=len(_AUDIT_CACHE))
+
+
+def _audit_cache_clear() -> None:
+    _AUDIT_CACHE.clear()
+    _AUDIT_CACHE_STATS["hits"] = 0
+    _AUDIT_CACHE_STATS["misses"] = 0
+
+
+cached_audit.cache_info = _audit_cache_info
+cached_audit.cache_clear = _audit_cache_clear

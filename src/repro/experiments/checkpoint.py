@@ -12,6 +12,10 @@ order, so skipping already-completed servers cannot perturb the
 remainder.  Serialisation is exact — Python's ``json`` round-trips floats
 through ``repr`` and the region mask travels as packed-bit hex — so a
 resumed audit's records are bit-identical to an uninterrupted run's.
+The mask bytes are exactly ``Region.packed_bytes()`` (MSB-first
+``np.packbits`` order, the packed engine's native word layout minus the
+zero tail padding), so under the packed engine a resumed record is
+rebuilt by :meth:`Region.from_packbits` without touching a boolean mask.
 
 A truncated final line (the kill arrived mid-write) is silently dropped;
 that server is simply re-audited.  A header mismatch (different seed,

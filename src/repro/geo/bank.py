@@ -26,6 +26,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..geodesy.greatcircle import haversine_km_vec, validate_latlon
+from .region import pack_bits
 
 #: Decimal places used to key a coordinate (matches the old grid LRU).
 _KEY_DECIMALS = 5
@@ -273,8 +274,8 @@ class DistanceBank:
         return block <= radii[:, None]
 
     def disk_intersections(self, lats: Sequence[float], lons: Sequence[float],
-                           radii_families: Sequence[Sequence[float]]
-                           ) -> np.ndarray:
+                           radii_families: Sequence[Sequence[float]],
+                           packed: bool = False) -> np.ndarray:
         """AND of per-landmark disks, for one or more radius families.
 
         ``radii_families`` is an ``(m, k)`` matrix: each row gives one
@@ -285,6 +286,10 @@ class DistanceBank:
         without touching cell-level data, and only cells of blocks crossed
         by some disk boundary are compared exactly.  Results are
         bit-identical to the naive broadcasted comparison.
+
+        With ``packed=True`` the result rows are uint64 bitset words
+        (``(m, n_words)``, padding bits zero) ready for zero-copy
+        adoption by :meth:`Region.from_words`.
         """
         radii = np.asarray(radii_families, dtype=np.float32)
         if radii.ndim == 1:
@@ -305,7 +310,7 @@ class DistanceBank:
                 for i in range(1, n_disks):
                     acc &= block[i] <= radii[f, i]
                 out[f] = acc
-            return out
+            return pack_bits(out) if packed else out
         side = self._block_side
         block_max = self._block_max[rows]          # (k, n_blocks) — small
         block_min = self._block_min[rows]
@@ -329,7 +334,7 @@ class DistanceBank:
             for i in uncertain:
                 verdict &= self._fields[rows[i]][cells] <= radii[f, i]
             out[f][cells] = verdict
-        return out
+        return pack_bits(out) if packed else out
 
     def ring_masks(self, lats: Sequence[float], lons: Sequence[float],
                    inner: Sequence[float], outer: Sequence[float],
@@ -343,6 +348,57 @@ class DistanceBank:
         if columns is not None:
             block = block[:, columns]
         return (block >= inner[:, None]) & (block <= outer[:, None])
+
+    def ring_intersection(self, lats: Sequence[float], lons: Sequence[float],
+                          inner: Sequence[float], outer: Sequence[float],
+                          packed: bool = False) -> np.ndarray:
+        """Fused AND of every per-landmark annulus.
+
+        Equivalent to ``ring_masks(...).all(axis=0)`` but AND-reduced ring
+        by ring with two reused scratch rows, so the ``(k, n_cells)``
+        boolean matrix is never materialised.  AND is associative, so the
+        result is bit-identical to the matrix reduction.  ``packed=True``
+        returns uint64 bitset words instead of a boolean row.
+        """
+        inner = np.asarray(inner, dtype=np.float32)
+        outer = np.asarray(outer, dtype=np.float32)
+        if (inner < 0).any() or (outer < inner).any():
+            raise ValueError("bad ring radii")
+        block = self.field_block(lats, lons)
+        acc = (block[0] >= inner[0]) & (block[0] <= outer[0])
+        lower = np.empty_like(acc)
+        upper = np.empty_like(acc)
+        for i in range(1, block.shape[0]):
+            np.greater_equal(block[i], inner[i], out=lower)
+            np.less_equal(block[i], outer[i], out=upper)
+            lower &= upper
+            acc &= lower
+        return pack_bits(acc) if packed else acc
+
+    def ring_votes(self, lats: Sequence[float], lons: Sequence[float],
+                   inner: Sequence[float], outer: Sequence[float]
+                   ) -> np.ndarray:
+        """Per-cell count of covering annuli (Octant's unit-weight votes).
+
+        Equivalent to ``ring_masks(...).sum(axis=0, dtype=int32)`` —
+        integer addition is exact, so accumulating one ring at a time
+        into a single int32 row changes nothing but the peak footprint
+        (one boolean scratch row instead of the ``(k, n_cells)`` matrix).
+        """
+        inner = np.asarray(inner, dtype=np.float32)
+        outer = np.asarray(outer, dtype=np.float32)
+        if (inner < 0).any() or (outer < inner).any():
+            raise ValueError("bad ring radii")
+        block = self.field_block(lats, lons)
+        votes = np.zeros(block.shape[1], dtype=np.int32)
+        lower = np.empty(block.shape[1], dtype=bool)
+        upper = np.empty(block.shape[1], dtype=bool)
+        for i in range(block.shape[0]):
+            np.greater_equal(block[i], inner[i], out=lower)
+            np.less_equal(block[i], outer[i], out=upper)
+            lower &= upper
+            votes += lower
+        return votes
 
     def gaussian_log_likelihood(self, lats: Sequence[float],
                                 lons: Sequence[float],

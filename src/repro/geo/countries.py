@@ -375,6 +375,7 @@ class CountryRegistry:
                 raise ValueError(f"duplicate country code {country.iso2!r}")
             self._by_iso[country.iso2] = country
         self._ordered: List[Country] = data
+        self._index_cache: Dict[str, int] = {}
 
     @classmethod
     def default(cls) -> "CountryRegistry":
@@ -398,6 +399,22 @@ class CountryRegistry:
     def codes(self) -> List[str]:
         """All ISO-2 codes, in registry order."""
         return [c.iso2 for c in self._ordered]
+
+    def index_of(self, iso2: str) -> int:
+        """Registry-order index of a country code.
+
+        This index is the canonical country id everywhere a raster or a
+        packed per-country bitset is keyed by country (the world map's
+        rasters and word matrices use registry order), so lookups against
+        those structures all resolve through one place.
+        """
+        if not self._index_cache:
+            self._index_cache.update(
+                {c.iso2: i for i, c in enumerate(self._ordered)})
+        try:
+            return self._index_cache[iso2]
+        except KeyError:
+            raise KeyError(f"unknown country code {iso2!r}") from None
 
     def by_continent(self, continent: str) -> List[Country]:
         if continent not in CONTINENTS:

@@ -25,7 +25,7 @@ from ..geodesy.constants import MAX_PLAUSIBLE_LATITUDE_DEG, MIN_PLAUSIBLE_LATITU
 from ..geodesy.greatcircle import haversine_km, haversine_km_vec
 from .countries import CONTINENTS, Country, CountryRegistry
 from .grid import Grid
-from .region import Region
+from .region import Region, pack_bits
 
 OCEAN = -1
 
@@ -38,12 +38,17 @@ class WorldMap:
         self.registry = registry if registry is not None else CountryRegistry.default()
         self.grid = grid if grid is not None else Grid()
         self._countries: List[Country] = list(self.registry)
-        self._index_of: Dict[str, int] = {c.iso2: i for i, c in enumerate(self._countries)}
         self.country_raster = self._rasterize()
         self.continent_raster = self._continent_raster()
         self.land_mask = self.country_raster != OCEAN
         self.plausibility_mask = self.land_mask & self.grid.latitude_band_mask(
             MIN_PLAUSIBLE_LATITUDE_DEG, MAX_PLAUSIBLE_LATITUDE_DEG)
+        # Packed (uint64 word) twins of the rasters, built lazily: the
+        # packed region engine clips and checks country overlap with
+        # word-wide AND instead of cell-by-cell boolean sweeps.
+        self._plausibility_words: Optional[np.ndarray] = None
+        self._land_words: Optional[np.ndarray] = None
+        self._country_words: Optional[np.ndarray] = None
 
     # -- raster construction -------------------------------------------------
 
@@ -139,17 +144,49 @@ class WorldMap:
     def is_land(self, lat: float, lon: float) -> bool:
         return bool(self.land_mask[self.grid.cell_index(lat, lon)])
 
+    # -- packed raster views ------------------------------------------------------
+
+    @property
+    def plausibility_words(self) -> np.ndarray:
+        """``plausibility_mask`` as packed uint64 words (lazy, cached)."""
+        if self._plausibility_words is None:
+            self._plausibility_words = pack_bits(self.plausibility_mask)
+        return self._plausibility_words
+
+    @property
+    def land_words(self) -> np.ndarray:
+        """``land_mask`` as packed uint64 words (lazy, cached)."""
+        if self._land_words is None:
+            self._land_words = pack_bits(self.land_mask)
+        return self._land_words
+
+    @property
+    def country_words(self) -> np.ndarray:
+        """Per-country packed masks, one uint64 word row per country.
+
+        Row ``i`` packs ``country_raster == i`` (registry order), so a
+        region↔country overlap test is one word-level AND + ``any`` —
+        the packed engine's replacement for gathering the raster over
+        every member cell.
+        """
+        if self._country_words is None:
+            raster = self.country_raster
+            matrix = raster[None, :] == np.arange(
+                len(self._countries), dtype=raster.dtype)[:, None]
+            self._country_words = pack_bits(matrix)
+        return self._country_words
+
     # -- region queries -----------------------------------------------------------
 
     def clip_to_plausible(self, region: Region) -> Region:
         """Apply the paper's final clipping: land only, 60°S..85°N."""
+        if region.is_packed_native:
+            return region.intersect_words(self.plausibility_words)
         return region.intersect_mask(self.plausibility_mask)
 
     def country_region(self, iso2: str) -> Region:
         """The region consisting of every cell owned by ``iso2``."""
-        idx = self._index_of.get(iso2)
-        if idx is None:
-            raise KeyError(f"unknown country code {iso2!r}")
+        idx = self.registry.index_of(iso2)
         return Region(self.grid, self.country_raster == idx)
 
     def continent_region(self, continent: str) -> Region:
@@ -160,7 +197,12 @@ class WorldMap:
 
     def countries_covered(self, region: Region) -> List[str]:
         """ISO-2 codes of all countries the region overlaps, sorted by area overlap."""
-        cells = np.flatnonzero(region.mask)
+        # Word-level early exit for packed regions: an all-ocean region
+        # (common for blown-out predictions) never unpacks a single cell.
+        if (region.is_packed_native
+                and not (region.words & self.land_words).any()):
+            return []
+        cells = region.cell_indices()
         owners = self.country_raster[cells]
         land = owners != OCEAN
         if not land.any():
@@ -185,16 +227,23 @@ class WorldMap:
 
         Zero when they overlap; infinity when the region is empty.
         """
-        idx = self._index_of.get(iso2)
-        if idx is None:
-            raise KeyError(f"unknown country code {iso2!r}")
+        idx = self.registry.index_of(iso2)
         if region.is_empty:
             return float("inf")
-        country_mask = self.country_raster == idx
-        if bool((country_mask & region.mask).any()):
+        if region.is_packed_native:
+            overlaps = bool((self.country_words[idx] & region.words).any())
+        else:
+            overlaps = bool(
+                ((self.country_raster == idx) & region.mask).any())
+        if overlaps:
             return 0.0
-        region_lats = self.grid.cell_lats[region.mask]
-        region_lons = self.grid.cell_lons[region.mask]
+        # Member gathers by index: identical vectors (values and order)
+        # to the boolean-mask gathers, so the distance sweep below is
+        # float-for-float the same under either engine.
+        region_cells = region.cell_indices()
+        country_mask = self.country_raster == idx
+        region_lats = self.grid.cell_lats[region_cells]
+        region_lons = self.grid.cell_lons[region_cells]
         country_lats = self.grid.cell_lats[country_mask]
         country_lons = self.grid.cell_lons[country_mask]
         # Chunk the pairwise sweep: a continent-sized region against a
@@ -212,9 +261,9 @@ class WorldMap:
 
     def covers_country(self, region: Region, iso2: str) -> bool:
         """Does the region overlap any cell of the country?"""
-        idx = self._index_of.get(iso2)
-        if idx is None:
-            raise KeyError(f"unknown country code {iso2!r}")
+        idx = self.registry.index_of(iso2)
+        if region.is_packed_native:
+            return bool((self.country_words[idx] & region.words).any())
         return bool((self.country_raster[region.mask] == idx).any())
 
     def within_country(self, region: Region, iso2: str) -> bool:

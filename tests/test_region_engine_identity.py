@@ -1,0 +1,167 @@
+"""Cross-engine identity: the packed Region engine vs the boolean reference.
+
+``REPRO_REGION_ENGINE=bool`` restores the historical boolean
+representation end to end.  Every algorithm front-end and the full audit
+pipeline must produce *byte-identical* results under either engine — the
+packed engine is an optimisation, never a semantic change.  Also covers
+the partition-based credible-set selection against its argsort reference
+and the ``cached_audit`` hit/miss counters.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    CBG,
+    CBGPlusPlus,
+    OctantSpotterHybrid,
+    QuasiOctant,
+    Spotter,
+)
+from repro.core import multilateration as ml
+from repro.experiments import cached_audit, run_audit
+from repro.experiments import audit as audit_module
+from repro.geo.region import REGION_ENGINE_ENV
+
+ALL_ALGORITHMS = [CBG, CBGPlusPlus, QuasiOctant, Spotter, OctantSpotterHybrid]
+
+
+@pytest.fixture(scope="module")
+def observation_panel(scenario):
+    """A warm 25-landmark panel from a Paris-area host."""
+    from repro.core.proxy_adapter import ProxyMeasurer
+
+    server = scenario.all_servers()[0]
+    measurer = ProxyMeasurer(scenario.network, scenario.client, server,
+                             seed=server.host.host_id)
+    rng = np.random.default_rng(7)
+    return measurer.observe(scenario.atlas.anchors[:25], rng)
+
+
+class TestFrontEndIdentity:
+    @pytest.mark.parametrize("algorithm_class", ALL_ALGORITHMS)
+    def test_prediction_identical_under_both_engines(
+            self, scenario, observation_panel, algorithm_class, monkeypatch):
+        predictions = {}
+        for engine in ("packed", "bool"):
+            monkeypatch.setenv(REGION_ENGINE_ENV, engine)
+            algorithm = algorithm_class(scenario.calibrations,
+                                        scenario.worldmap)
+            predictions[engine] = algorithm.predict(observation_panel)
+        packed, reference = predictions["packed"], predictions["bool"]
+        assert packed.region.is_packed_native
+        assert not reference.region.is_packed_native
+        assert packed.region.packed_bytes() == reference.region.packed_bytes()
+        assert np.array_equal(packed.region.mask, reference.region.mask)
+        assert packed.used_landmarks == reference.used_landmarks
+        assert packed.discarded_landmarks == reference.discarded_landmarks
+        assert packed.failed == reference.failed
+
+
+class TestAuditIdentity:
+    def test_audit_records_byte_identical(self, scenario, monkeypatch):
+        """The acceptance bar: a fleet audit slice, bool vs packed."""
+        results = {}
+        for engine in ("packed", "bool"):
+            monkeypatch.setenv(REGION_ENGINE_ENV, engine)
+            results[engine] = run_audit(scenario, max_servers=12, seed=0)
+        packed, reference = results["packed"], results["bool"]
+        assert len(packed.records) == len(reference.records) == 12
+        assert packed.verdict_counts() == reference.verdict_counts()
+        for a, b in zip(packed.records, reference.records):
+            assert a.region.packed_bytes() == b.region.packed_bytes()
+            assert a.assessment == b.assessment
+            assert a.initial_verdict == b.initial_verdict
+            assert a.landmark_names == b.landmark_names
+            assert a.degraded == b.degraded
+            assert [(o.landmark_name, o.lat, o.lon, o.one_way_ms)
+                    for o in a.observations] == \
+                   [(o.landmark_name, o.lat, o.lon, o.one_way_ms)
+                    for o in b.observations]
+
+    def test_packed_records_never_materialise_bool_masks(self, scenario,
+                                                         monkeypatch):
+        """The memory win is real only if the audit path stays word-level:
+        assessment, disambiguation, and reporting must not force the lazy
+        boolean view of any record region."""
+        monkeypatch.setenv(REGION_ENGINE_ENV, "packed")
+        result = run_audit(scenario, max_servers=12, seed=0)
+        assert all(r.region.is_packed_native for r in result.records)
+        assert not any(r.region.has_bool_view for r in result.records)
+
+
+class TestCredibleSetSelection:
+    """The np.partition top-k in bayesian_region vs the argsort reference."""
+
+    @given(seed=st.integers(0, 2000))
+    @settings(max_examples=60, deadline=None)
+    def test_random_masses_match(self, seed):
+        rng = np.random.default_rng(seed)
+        cell_mass = rng.random(4050)
+        cell_mass[rng.random(4050) < 0.6] = 0.0
+        total = float(cell_mass.sum())
+        for mass in (0.5, 0.95, 1.0):
+            assert np.array_equal(
+                ml._credible_mask_topk(cell_mass, total, mass),
+                ml._credible_mask_argsort(cell_mass, total, mass))
+
+    def test_boundary_ties_match(self):
+        """Tied masses straddling the cutoff must break identically
+        (toward the lower cell index) in both selection paths."""
+        cell_mass = np.zeros(500)
+        cell_mass[10:60] = 0.5          # one big tie group at the cutoff
+        cell_mass[200:210] = 1.0
+        total = float(cell_mass.sum())
+        for mass in (0.2, 0.5, 0.9, 1.0):
+            assert np.array_equal(
+                ml._credible_mask_topk(cell_mass, total, mass),
+                ml._credible_mask_argsort(cell_mass, total, mass))
+
+    def test_growth_loop_is_exercised(self, monkeypatch):
+        """With a tiny initial k the cutoff misses the candidate prefix
+        and the 4x growth loop must still land on the reference mask."""
+        monkeypatch.setattr(ml, "_TOPK_INITIAL", 2)
+        rng = np.random.default_rng(3)
+        cell_mass = rng.random(300)
+        total = float(cell_mass.sum())
+        assert np.array_equal(
+            ml._credible_mask_topk(cell_mass, total, 0.95),
+            ml._credible_mask_argsort(cell_mass, total, 0.95))
+
+    def test_all_equal_masses(self):
+        cell_mass = np.full(130, 0.25)
+        total = float(cell_mass.sum())
+        for mass in (0.1, 0.77, 1.0):
+            assert np.array_equal(
+                ml._credible_mask_topk(cell_mass, total, mass),
+                ml._credible_mask_argsort(cell_mass, total, mass))
+
+
+class TestCachedAuditCounters:
+    def test_hit_and_miss_counters(self, scenario):
+        before = cached_audit.cache_info()
+        first = cached_audit(scenario, max_servers=2, seed=771)
+        after_miss = cached_audit.cache_info()
+        assert after_miss.misses == before.misses + 1
+        assert after_miss.hits == before.hits
+        second = cached_audit(scenario, max_servers=2, seed=771)
+        after_hit = cached_audit.cache_info()
+        assert second is first
+        assert after_hit.hits == before.hits + 1
+        assert after_hit.misses == before.misses + 1
+        assert 0 < after_hit.currsize <= after_hit.maxsize
+
+    def test_cache_clear_resets_counters(self, scenario):
+        # Snapshot and restore the module cache: other tests share the
+        # session-scoped audit entry and must not pay for a recompute.
+        saved_cache = dict(audit_module._AUDIT_CACHE)
+        saved_stats = dict(audit_module._AUDIT_CACHE_STATS)
+        try:
+            cached_audit.cache_clear()
+            info = cached_audit.cache_info()
+            assert info == (0, 0, audit_module._AUDIT_CACHE_SLOTS, 0)
+        finally:
+            audit_module._AUDIT_CACHE.update(saved_cache)
+            audit_module._AUDIT_CACHE_STATS.update(saved_stats)
