@@ -1,0 +1,193 @@
+"""Central registry of ``REPRO_*`` environment knobs.
+
+Every runtime switch the reproduction honours is declared here — name,
+type, default, allowed values, and a docstring — and read through
+:func:`env_value`.  Reading a ``REPRO_*`` variable anywhere else is a
+``reprolint`` R003 violation: scattering ``os.environ`` reads is how a
+typo'd knob silently falls back to a default and quietly changes which
+engine produced a fleet's verdicts.
+
+The registry enforces three things the scattered reads never did:
+
+* **unknown knob values are a hard error at read time** — setting
+  ``REPRO_REGION_ENGINE=typo`` raises :class:`KnobError` listing the
+  allowed values instead of silently picking an engine;
+* **an empty string means unset** for every knob (the shell idiom
+  ``REPRO_X= cmd`` clears a knob rather than smuggling ``""`` in as a
+  value), consistently across knobs;
+* **documentation stays honest** — ``reprolint`` cross-checks that every
+  knob registered here is mentioned in README.md, and the README's knob
+  table is generated from :func:`knob_table_markdown`.
+
+The module deliberately has no repro-internal imports so any module —
+including :mod:`repro.geo.region` at the bottom of the dependency
+graph — can use it without cycles.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple, Union
+
+#: Values a knob read can produce: choice/path knobs yield strings (path
+#: knobs ``None`` when unset), flag knobs yield booleans.
+KnobValue = Union[str, bool, None]
+
+_TRUE_WORDS = ("1", "true", "yes", "on")
+_FALSE_WORDS = ("0", "false", "no", "off")
+
+
+class KnobError(ValueError):
+    """A ``REPRO_*`` variable is set to a value the knob does not allow."""
+
+
+@dataclass(frozen=True)
+class Knob:
+    """Declaration of one ``REPRO_*`` environment knob.
+
+    ``kind`` is one of ``"choice"`` (value must be one of ``choices``),
+    ``"flag"`` (boolean words), or ``"path"`` (any non-empty string,
+    ``None`` when unset).
+    """
+
+    name: str
+    kind: str
+    default: KnobValue
+    doc: str
+    choices: Optional[Tuple[str, ...]] = None
+
+    def parse(self, raw: Optional[str]) -> KnobValue:
+        """Parse a raw environment string (``None``/empty = unset)."""
+        if raw is None or raw == "":
+            return self.default
+        if self.kind == "choice":
+            assert self.choices is not None
+            if raw not in self.choices:
+                raise KnobError(
+                    f"{self.name} must be one of {self.choices}, got {raw!r}")
+            return raw
+        if self.kind == "flag":
+            lowered = raw.lower()
+            if lowered in _TRUE_WORDS:
+                return True
+            if lowered in _FALSE_WORDS:
+                return False
+            raise KnobError(
+                f"{self.name} must be a boolean word "
+                f"({'/'.join(_TRUE_WORDS)} or {'/'.join(_FALSE_WORDS)}), "
+                f"got {raw!r}")
+        if self.kind == "path":
+            return raw
+        raise AssertionError(f"unknown knob kind {self.kind!r}")
+
+    def allowed_text(self) -> str:
+        """Human-readable allowed-values column for the README table."""
+        if self.kind == "choice":
+            assert self.choices is not None
+            return " / ".join(f"`{choice}`" for choice in self.choices)
+        if self.kind == "flag":
+            return "`0` / `1`"
+        return "any path"
+
+    def default_text(self) -> str:
+        if self.default is None:
+            return "unset"
+        if isinstance(self.default, bool):
+            return "`1`" if self.default else "`0`"
+        return f"`{self.default}`"
+
+
+_REGISTRY: Dict[str, Knob] = {}
+
+
+def _register(knob: Knob) -> Knob:
+    if not knob.name.startswith("REPRO_"):
+        raise AssertionError(f"knob {knob.name!r} must start with REPRO_")
+    if knob.name in _REGISTRY:
+        raise AssertionError(f"knob {knob.name!r} registered twice")
+    _REGISTRY[knob.name] = knob
+    return knob
+
+
+REGION_ENGINE = _register(Knob(
+    name="REPRO_REGION_ENGINE",
+    kind="choice",
+    default="packed",
+    choices=("packed", "bool"),
+    doc="Region representation: packed uint64 bitsets (the native "
+        "engine) or the historical boolean-mask reference.",
+))
+
+PATH_ENGINE = _register(Knob(
+    name="REPRO_PATH_ENGINE",
+    kind="choice",
+    default="csr",
+    choices=("csr", "networkx"),
+    doc="Routed-delay oracle: the batched scipy CSR engine or the "
+        "per-source pure-Python networkx Dijkstra fallback.",
+))
+
+PATHENGINE_CACHE = _register(Knob(
+    name="REPRO_PATHENGINE_CACHE",
+    kind="path",
+    default=None,
+    doc="Directory for memmapped warm-start shortest-path matrices; "
+        "unset disables persistence.",
+))
+
+SANITIZE = _register(Knob(
+    name="REPRO_SANITIZE",
+    kind="flag",
+    default=False,
+    doc="Enable the runtime sanitizer: cheap invariant assertions at "
+        "module boundaries (packed-region padding, distance-bank "
+        "finiteness, path-engine cross-check, checkpoint round-trip).",
+))
+
+
+def knob(name: str) -> Knob:
+    """The :class:`Knob` registered under ``name`` (KeyError if none)."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"{name!r} is not a registered REPRO_* knob; "
+            f"known knobs: {sorted(_REGISTRY)}") from None
+
+
+def all_knobs() -> Tuple[Knob, ...]:
+    """Every registered knob, in registration order."""
+    return tuple(_REGISTRY.values())
+
+
+def env_value(name: str) -> KnobValue:
+    """The knob's current value from the environment, validated.
+
+    Unset (or empty-string) variables yield the declared default; any
+    other value is parsed per the knob's kind and an invalid value
+    raises :class:`KnobError` naming the allowed values.  This is the
+    only sanctioned way to read a ``REPRO_*`` variable.
+    """
+    declared = knob(name)
+    return declared.parse(os.environ.get(name))
+
+
+def is_set(name: str) -> bool:
+    """Was the knob explicitly set (to a non-empty string)?"""
+    knob(name)  # unknown names are programming errors, not "unset"
+    raw = os.environ.get(name)
+    return raw is not None and raw != ""
+
+
+def knob_table_markdown() -> str:
+    """The README's knob table, generated so docs can't drift."""
+    lines = [
+        "| Knob | Values | Default | What it does |",
+        "| --- | --- | --- | --- |",
+    ]
+    for declared in all_knobs():
+        lines.append(
+            f"| `{declared.name}` | {declared.allowed_text()} "
+            f"| {declared.default_text()} | {declared.doc} |")
+    return "\n".join(lines)

@@ -29,6 +29,7 @@ import json
 import os
 from typing import Dict, List, Optional, Tuple
 
+from .. import sanitize
 from ..core.assessment import ClaimAssessment, ContinentVerdict, Verdict
 from ..core.observations import RttObservation
 
@@ -166,7 +167,30 @@ class AuditCheckpoint:
 
     def append(self, payload: ServerPayload) -> None:
         """Durably record one completed server."""
+        line = json.dumps(payload_to_json(payload))
+        if sanitize.enabled():
+            _check_roundtrip(payload, line)
         with open(self.path, "a", encoding="utf-8") as handle:
-            handle.write(json.dumps(payload_to_json(payload)) + "\n")
+            handle.write(line + "\n")
             handle.flush()
             os.fsync(handle.fileno())
+
+
+def _check_roundtrip(payload: ServerPayload, line: str) -> None:
+    """Sanitizer: the journalled line must decode back bit-identically.
+
+    Catches non-round-trippable records (a NaN observation compares
+    unequal to itself; an enum value json can't carry) at write time,
+    where the failing server is still known, instead of as a resume
+    mismatch hours later.
+    """
+    try:
+        restored = payload_from_json(json.loads(line))
+    except Exception as error:
+        raise sanitize.SanitizerError(
+            f"checkpoint record for server index {payload[0]} cannot be "
+            f"decoded back from the journal: {error}") from error
+    if restored != payload:
+        raise sanitize.SanitizerError(
+            f"checkpoint record for server index {payload[0]} does not "
+            "round-trip through the JSON journal codec")

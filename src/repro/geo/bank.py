@@ -25,6 +25,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import sanitize
 from ..geodesy.greatcircle import haversine_km_vec, validate_latlon
 from .region import pack_bits
 
@@ -229,7 +230,10 @@ class DistanceBank:
     def field(self, lat: float, lon: float) -> np.ndarray:
         """The distance field of one point (a shared row — read-only)."""
         row = int(self.rows([lat], [lon])[0])
-        return self._views[row]
+        values = self._views[row]
+        if sanitize.enabled():
+            sanitize.check_distance_fields(values, "DistanceBank.field")
+        return values
 
     def field_block(self, lats: Sequence[float], lons: Sequence[float]
                     ) -> np.ndarray:
@@ -244,7 +248,11 @@ class DistanceBank:
             start, stop = int(rows[0]), int(rows[-1]) + 1
             if stop - start == len(rows) and np.array_equal(
                     rows, np.arange(start, stop)):
-                return self._fields[start:stop]
+                block = self._fields[start:stop]
+                if sanitize.enabled():
+                    sanitize.check_distance_fields(
+                        block, "DistanceBank.field_block")
+                return block
         key = tuple(int(r) for r in rows)
         cached = self._block_cache.get(key)
         if cached is None:
@@ -252,6 +260,8 @@ class DistanceBank:
                 self._block_cache.pop(next(iter(self._block_cache)))
             cached = self._fields[rows]
             self._block_cache[key] = cached
+        if sanitize.enabled():
+            sanitize.check_distance_fields(cached, "DistanceBank.field_block")
         return cached
 
     # -- batched mask kernels ------------------------------------------------

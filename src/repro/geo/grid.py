@@ -16,7 +16,7 @@ the batched mask kernels and forked audit workers build on.
 from __future__ import annotations
 
 import math
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -71,7 +71,7 @@ class Grid:
             self._bank = DistanceBank(self, max_points=self._DISTANCE_CACHE_SLOTS)
         return self._bank
 
-    def __getstate__(self):
+    def __getstate__(self) -> Dict[str, object]:
         # The bank can hold hundreds of MB of recomputable distance
         # fields; never ship it inside a pickle (parallel audit workers
         # share it through fork instead).

@@ -37,34 +37,54 @@ mutate ``self.mask`` in place (callers may share masks).
 
 from __future__ import annotations
 
-import os
-from typing import Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
+from .. import config, sanitize
 from ..geodesy.geometry import SphericalDisk, SphericalRing
 from ..geodesy.greatcircle import haversine_km_vec
 from .grid import Grid
 
 #: Environment switch for the region engine: ``packed`` (default) stores
 #: uint64 bitsets natively; ``bool`` restores the boolean reference.
-REGION_ENGINE_ENV = "REPRO_REGION_ENGINE"
+#: Declared in :mod:`repro.config`; kept here for importers.
+REGION_ENGINE_ENV = config.REGION_ENGINE.name
 
 #: Words per block of the popcount index (32 words = 2048 cells): small
 #: enough that member gathers skip empty ocean wholesale, large enough
 #: that the index itself stays a few hundred bytes per region.
 WORDS_PER_BLOCK = 32
 
-_ENGINES = ("packed", "bool")
-
 
 def region_engine() -> str:
-    """The active region engine, from ``REPRO_REGION_ENGINE``."""
-    engine = os.environ.get(REGION_ENGINE_ENV, "packed")
-    if engine not in _ENGINES:
-        raise ValueError(
-            f"{REGION_ENGINE_ENV} must be one of {_ENGINES}, got {engine!r}")
+    """The active region engine, from ``REPRO_REGION_ENGINE``.
+
+    An unrecognised value is a hard :class:`~repro.config.KnobError`
+    (a ``ValueError``) naming the allowed engines — never a silent
+    fallback to a default engine.
+    """
+    engine = config.env_value(REGION_ENGINE_ENV)
+    assert isinstance(engine, str)
     return engine
+
+
+def _sanitize_operands(context: str, *regions: "Region") -> None:
+    """Re-verify operand padding under ``REPRO_SANITIZE=1``.
+
+    Padding is clear by construction (:meth:`Region.from_words` rejects
+    dirty words), but a shared word buffer corrupted *in place* after
+    construction can poison ops whose results stay padding-clear (e.g.
+    ``difference``'s ``self & ~other``) without tripping any always-on
+    check — this boundary assertion catches that the moment the buffer
+    feeds an operation.
+    """
+    if not sanitize.enabled():
+        return
+    for region in regions:
+        if region._words is not None:
+            sanitize.check_region_padding(
+                region._words, region.grid.n_cells, context)
 
 
 def n_words_for(n_bits: int) -> int:
@@ -268,6 +288,7 @@ class Region:
         The exact byte string the checkpoint journal stores, with the
         word-level zero padding truncated away.
         """
+        _sanitize_operands("Region.packed_bytes", self)
         n_bytes = (self.grid.n_cells + 7) // 8
         if self._packed or self._words is not None:
             return self._words.view(np.uint8)[:n_bytes].tobytes()
@@ -291,18 +312,21 @@ class Region:
 
     def intersect(self, other: "Region") -> "Region":
         self._check_same_grid(other)
+        _sanitize_operands("Region.intersect", self, other)
         if self._packed and other._packed:
             return Region.from_words(self.grid, self._words & other._words)
         return Region(self.grid, self.mask & other.mask)
 
     def union(self, other: "Region") -> "Region":
         self._check_same_grid(other)
+        _sanitize_operands("Region.union", self, other)
         if self._packed and other._packed:
             return Region.from_words(self.grid, self._words | other._words)
         return Region(self.grid, self.mask | other.mask)
 
     def difference(self, other: "Region") -> "Region":
         self._check_same_grid(other)
+        _sanitize_operands("Region.difference", self, other)
         if self._packed and other._packed:
             # other's padding flips to 1 under ~, but self's padding is 0,
             # so the AND keeps the result's padding clear.
@@ -311,6 +335,7 @@ class Region:
 
     def complement(self) -> "Region":
         """Every cell not in this region."""
+        _sanitize_operands("Region.complement", self)
         if self._packed:
             return Region.from_words(
                 self.grid, self._words ^ _full_words(self.grid.n_cells))
@@ -318,6 +343,7 @@ class Region:
 
     def intersect_mask(self, mask: np.ndarray) -> "Region":
         """Intersect with a raw boolean mask (e.g. a land or latitude mask)."""
+        _sanitize_operands("Region.intersect_mask", self)
         if self._packed:
             return Region.from_words(self.grid, self._words & pack_bits(mask))
         return Region(self.grid, self.mask & mask)
@@ -328,6 +354,11 @@ class Region:
         The hot path of every prediction's terrain clipping: one AND over
         ~1k words instead of ~65k boolean bytes, with no unpacking.
         """
+        _sanitize_operands("Region.intersect_words", self)
+        if sanitize.enabled():
+            sanitize.check_region_padding(
+                np.ascontiguousarray(words, dtype=np.uint64),
+                self.grid.n_cells, "Region.intersect_words operand words")
         if self._packed:
             return Region.from_words(self.grid, self._words & words)
         return Region(self.grid, self.mask & unpack_bits(words, self.grid.n_cells))
@@ -351,7 +382,7 @@ class Region:
             return bool(np.array_equal(self._words, other._words))
         return bool(np.array_equal(self.mask, other.mask))
 
-    def __hash__(self):  # regions are mutable-array holders; no hashing
+    def __hash__(self) -> int:  # regions are mutable-array holders; no hashing
         raise TypeError("Region is unhashable")
 
     # -- queries ---------------------------------------------------------------
@@ -479,7 +510,7 @@ class Region:
 
 
 #: Cache of all-ones word vectors keyed by bit count (grids recur).
-_FULL_WORDS: dict = {}
+_FULL_WORDS: Dict[int, np.ndarray] = {}
 
 
 def _full_words(n_bits: int) -> np.ndarray:

@@ -12,7 +12,7 @@ are degrees clockwise from true north.
 from __future__ import annotations
 
 import math
-from typing import Tuple
+from typing import List, Tuple
 
 import numpy as np
 
@@ -149,7 +149,9 @@ def interpolate(lat1: float, lon1: float, lat2: float, lon2: float, fraction: fl
     return phi * RAD_TO_DEG, normalize_lon(lam * RAD_TO_DEG)
 
 
-def geodesic_path(lat1: float, lon1: float, lat2: float, lon2: float, n_points: int) -> list:
+def geodesic_path(
+    lat1: float, lon1: float, lat2: float, lon2: float, n_points: int
+) -> List[Tuple[float, float]]:
     """``n_points`` evenly spaced points along the great circle, inclusive of endpoints."""
     if n_points < 2:
         raise ValueError("need at least the two endpoints")

@@ -11,13 +11,13 @@ because routes are circuitous.
 
 from __future__ import annotations
 
-import os
 from contextlib import contextmanager
 from typing import Dict, Optional, Sequence
 
 import networkx as nx
 import numpy as np
 
+from .. import config
 from .faults import FaultInjector, MeasurementFailed
 from .hosts import Host
 from .topology import RouterId, Topology
@@ -59,11 +59,24 @@ class Network:
         self._cached_version = topology.version
         self.faults = faults
         self._fault_time: Optional[float] = None
-        mode = (path_engine if path_engine is not None
-                else os.environ.get(ENGINE_ENV) or "csr")
-        if mode not in ("csr", "networkx"):
-            raise ValueError(f"unknown path engine {mode!r}")
+        # An *explicit* engine choice (constructor argument or env knob)
+        # is honoured or rejected, never silently downgraded: asking for
+        # csr on a scipy-free host must fail loudly rather than hand
+        # back verdicts from a different oracle.  Only the implicit
+        # default may fall back to networkx when scipy is absent.
+        if path_engine is not None:
+            mode = config.PATH_ENGINE.parse(path_engine)
+            explicit = True
+        else:
+            mode = config.env_value(ENGINE_ENV)
+            explicit = config.is_set(ENGINE_ENV)
+        assert isinstance(mode, str)
         if mode == "csr" and not HAVE_SCIPY:
+            if explicit:
+                raise RuntimeError(
+                    "path engine 'csr' was explicitly requested but scipy "
+                    f"is not installed; unset {ENGINE_ENV} or choose "
+                    "'networkx'")
             mode = "networkx"
         self.path_engine_mode = mode
         self._engine: Optional[PathEngine] = (

@@ -51,6 +51,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import config, sanitize
 from .topology import RouterId, Topology
 
 try:  # pragma: no cover - exercised implicitly by every engine test
@@ -63,11 +64,12 @@ except ImportError:  # pragma: no cover - container always ships scipy
 
 #: Environment variable selecting the routed-delay oracle
 #: (``"networkx"`` restores the per-source pure-Python Dijkstra).
-ENGINE_ENV = "REPRO_PATH_ENGINE"
+#: Declared in :mod:`repro.config`; kept here for importers.
+ENGINE_ENV = config.PATH_ENGINE.name
 
 #: Environment variable naming a directory for persistent warm-start
 #: matrices.  Unset (the default) disables persistence entirely.
-CACHE_ENV = "REPRO_PATHENGINE_CACHE"
+CACHE_ENV = config.PATHENGINE_CACHE.name
 
 
 class PathEngine:
@@ -98,8 +100,9 @@ class PathEngine:
             raise ValueError(f"max_rows too small: {max_rows!r}")
         self.topology = topology
         self.max_rows = int(max_rows)
-        self.cache_dir = (cache_dir if cache_dir is not None
-                          else os.environ.get(CACHE_ENV) or None)
+        env_cache = config.env_value(CACHE_ENV)
+        assert env_cache is None or isinstance(env_cache, str)
+        self.cache_dir = cache_dir if cache_dir is not None else env_cache
         self._version: Optional[int] = None
         self._nodes: List[RouterId] = []
         self._index: Dict[RouterId, int] = {}
@@ -348,6 +351,37 @@ class PathEngine:
         self._adopt(sources, matrix)
         return False
 
+    def _nx_reference_row(self, source: RouterId) -> np.ndarray:
+        """One source's distances by an independent networkx Dijkstra.
+
+        The sanitizer's cross-check oracle: pure Python over the same
+        graph and weights, sharing none of the CSR conversion, batching,
+        or memmap machinery whose failure it is meant to catch.
+        """
+        import networkx as nx
+
+        lengths = nx.single_source_dijkstra_path_length(
+            self.topology.graph, source, weight="latency_ms")
+        row = np.full(len(self._nodes), np.inf, dtype=np.float64)
+        for node, distance in lengths.items():
+            row[self._index[node]] = distance
+        return row
+
+    def _sanitize_spot_check(self, sources: List[RouterId]) -> None:
+        """Cross-check one deterministically sampled warmed row.
+
+        The sample index comes from the topology digest — a pure
+        function of the graph, never of RNG state or insertion order —
+        so arming the sanitizer cannot perturb any random stream.
+        """
+        if not sources:
+            return
+        pick = int(self.topology_digest()[:8], 16) % len(sources)
+        source = sources[pick]
+        sanitize.check_rows_close(
+            self._rows[source], self._nx_reference_row(source),
+            f"PathEngine.warm spot check, source {source!r}")
+
     def _adopt(self, sources: List[RouterId], matrix: np.ndarray) -> None:
         if len(self._rows) + len(sources) > self.max_rows:
             self._evict_oldest_half()
@@ -360,3 +394,5 @@ class PathEngine:
         pos[[self._index[s] for s in sources]] = np.arange(len(sources))
         self._warm_matrix = matrix
         self._warm_pos = pos
+        if sanitize.enabled():
+            self._sanitize_spot_check(sources)

@@ -164,7 +164,9 @@ def bootstrap_slope_ci(x: Sequence[float], y: Sequence[float],
             float(np.quantile(slopes, 1.0 - alpha)))
 
 
-def grouped_line_rss(x: np.ndarray, y: np.ndarray, groups: Sequence) -> Tuple[float, int]:
+def grouped_line_rss(
+    x: np.ndarray, y: np.ndarray, groups: Sequence[object]
+) -> Tuple[float, int]:
     """Total RSS of per-group OLS lines, plus the parameter count.
 
     Fits an independent ``y = a_g + b_g x`` within every group and returns
@@ -174,11 +176,11 @@ def grouped_line_rss(x: np.ndarray, y: np.ndarray, groups: Sequence) -> Tuple[fl
     """
     x = np.asarray(x, dtype=float)
     y = np.asarray(y, dtype=float)
-    groups = np.asarray(groups)
+    group_ids = np.asarray(groups)
     total_rss = 0.0
     n_params = 0
-    for g in np.unique(groups):
-        mask = groups == g
+    for g in np.unique(group_ids):
+        mask = group_ids == g
         if mask.sum() < 2:
             continue
         fit = ols_fit(x[mask], y[mask])

@@ -1,0 +1,287 @@
+"""Tests for reprolint, the determinism & invariant linter.
+
+Every rule gets a paired fixture: source that must trip it and a
+minimally different source that must stay clean.  The meta-test at the
+bottom runs the real CLI over ``src/`` and requires a clean exit — the
+repository must satisfy its own lint gate.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT))
+
+from tools.reprolint import (  # noqa: E402
+    RULE_IDS,
+    lint_source,
+    report_json,
+)
+from tools.reprolint.engine import main, scope_path_for  # noqa: E402
+
+
+def rules_hit(source, scope_path):
+    result = lint_source(source, scope_path=scope_path)
+    return [d.rule for d in result.diagnostics]
+
+
+# -- R001: unseeded randomness ------------------------------------------------
+
+class TestR001UnseededRandomness:
+    def test_global_numpy_draw_flagged(self):
+        source = "import numpy as np\nx = np.random.rand(3)\n"
+        assert rules_hit(source, "core/foo.py") == ["R001"]
+
+    def test_seedless_default_rng_flagged(self):
+        source = "import numpy as np\nrng = np.random.default_rng()\n"
+        assert rules_hit(source, "core/foo.py") == ["R001"]
+
+    def test_stdlib_random_flagged(self):
+        source = "import random\nrandom.shuffle([1, 2])\n"
+        assert rules_hit(source, "stats/foo.py") == ["R001"]
+
+    def test_seeded_default_rng_clean(self):
+        source = ("import numpy as np\n"
+                  "rng = np.random.default_rng(42)\n"
+                  "rng2 = np.random.default_rng(seed)\n")
+        assert rules_hit(source, "core/foo.py") == []
+
+    def test_import_alias_resolved(self):
+        source = "from numpy import random as nr\nnr.normal(0, 1)\n"
+        assert rules_hit(source, "core/foo.py") == ["R001"]
+
+
+# -- R002: wall clock ---------------------------------------------------------
+
+class TestR002WallClock:
+    def test_time_time_in_netsim_flagged(self):
+        source = "import time\nstamp = time.time()\n"
+        assert rules_hit(source, "netsim/foo.py") == ["R002"]
+
+    def test_datetime_now_in_experiments_flagged(self):
+        source = "import datetime\nd = datetime.datetime.now()\n"
+        assert rules_hit(source, "experiments/foo.py") == ["R002"]
+
+    def test_benchmarks_exempt_by_scope(self):
+        source = "import time\nstamp = time.perf_counter()\n"
+        assert rules_hit(source, "bench_audit.py") == []
+
+    def test_sleep_is_not_a_clock_read(self):
+        source = "import time\ntime.sleep(0.1)\n"
+        assert rules_hit(source, "netsim/foo.py") == []
+
+
+# -- R003: uncentralised knob reads -------------------------------------------
+
+class TestR003KnobReads:
+    @pytest.mark.parametrize("read", [
+        'value = os.getenv("REPRO_REGION_ENGINE")',
+        'value = os.environ.get("REPRO_REGION_ENGINE")',
+        'value = os.environ["REPRO_REGION_ENGINE"]',
+        'flag = "REPRO_SANITIZE" in os.environ',
+    ])
+    def test_direct_reads_flagged(self, read):
+        source = f"import os\n{read}\n"
+        assert rules_hit(source, "geo/foo.py") == ["R003"]
+
+    def test_env_constant_convention_flagged(self):
+        source = ("import os\n"
+                  "ENGINE_ENV = 'REPRO_PATH_ENGINE'\n"
+                  "value = os.environ.get(ENGINE_ENV)\n")
+        assert rules_hit(source, "netsim/foo.py") == ["R003"]
+
+    def test_non_repro_variables_clean(self):
+        source = "import os\nhome = os.environ.get('HOME')\n"
+        assert rules_hit(source, "geo/foo.py") == []
+
+    def test_config_module_exempt(self):
+        source = "import os\nvalue = os.environ.get('REPRO_SANITIZE')\n"
+        assert rules_hit(source, "config.py") == []
+
+
+# -- R004: dense-bool views on hot paths --------------------------------------
+
+class TestR004HotPathBoolView:
+    def test_mask_in_hot_module_flagged(self):
+        source = "dense = region.mask\n"
+        assert rules_hit(source, "geo/bank.py") == ["R004"]
+
+    def test_bool_mask_in_audit_flagged(self):
+        source = "dense = region.bool_mask\n"
+        assert rules_hit(source, "experiments/audit.py") == ["R004"]
+
+    def test_cold_module_clean(self):
+        source = "dense = region.mask\n"
+        assert rules_hit(source, "geo/region.py") == []
+
+
+# -- R005: payload field types ------------------------------------------------
+
+_BAD_PAYLOAD = """\
+from dataclasses import dataclass
+import threading
+
+@dataclass
+class WorkerPayload:
+    index: int
+    lock: threading.Lock
+"""
+
+_GOOD_PAYLOAD = """\
+from dataclasses import dataclass
+from typing import List, Optional
+
+@dataclass
+class WorkerPayload:
+    index: int
+    mask: bytes
+    names: List[str]
+    note: Optional[str]
+"""
+
+
+class TestR005PayloadFields:
+    def test_fork_unsafe_field_flagged(self):
+        assert rules_hit(_BAD_PAYLOAD, "experiments/checkpoint.py") == ["R005"]
+
+    def test_whitelisted_fields_clean(self):
+        assert rules_hit(_GOOD_PAYLOAD, "experiments/audit.py") == []
+
+    def test_payload_alias_checked(self):
+        source = ("from typing import Tuple\n"
+                  "import threading\n"
+                  "ServerPayload = Tuple[int, threading.Lock]\n")
+        assert rules_hit(source, "experiments/checkpoint.py") == ["R005"]
+
+    def test_other_modules_exempt(self):
+        assert rules_hit(_BAD_PAYLOAD, "core/foo.py") == []
+
+
+# -- R006: unordered reductions -----------------------------------------------
+
+class TestR006UnorderedReduction:
+    def test_sum_dict_values_flagged(self):
+        source = "total = sum(d.values())\n"
+        assert rules_hit(source, "core/foo.py") == ["R006"]
+
+    def test_sum_set_literal_flagged(self):
+        source = "total = sum({1.0, 2.0})\n"
+        assert rules_hit(source, "core/foo.py") == ["R006"]
+
+    def test_sum_generator_over_set_flagged(self):
+        source = "total = sum(x * x for x in set(xs))\n"
+        assert rules_hit(source, "core/foo.py") == ["R006"]
+
+    def test_sorted_reduction_clean(self):
+        source = "total = sum(sorted(d.values()))\n"
+        assert rules_hit(source, "core/foo.py") == []
+
+
+# -- suppressions -------------------------------------------------------------
+
+class TestSuppressions:
+    def test_reasoned_suppression_silences(self):
+        source = ("total = sum(d.values())"
+                  "  # reprolint: disable=R006 (values are exact ints)\n")
+        result = lint_source(source, scope_path="core/foo.py")
+        assert result.ok
+        assert len(result.suppressions) == 1
+        assert result.suppressions[0].rules == ("R006",)
+        assert result.suppressions[0].reason == "values are exact ints"
+
+    def test_reasonless_suppression_rejected(self):
+        source = "total = sum(d.values())  # reprolint: disable=R006\n"
+        result = lint_source(source, scope_path="core/foo.py")
+        hit = sorted(d.rule for d in result.diagnostics)
+        assert hit == ["R000", "R006"]  # meta-diag AND the original finding
+
+    def test_unknown_rule_rejected(self):
+        source = "x = 1  # reprolint: disable=R999 (no such rule)\n"
+        result = lint_source(source, scope_path="core/foo.py")
+        assert [d.rule for d in result.diagnostics] == ["R000"]
+
+    def test_suppression_only_covers_its_line(self):
+        source = ("a = sum(d.values())"
+                  "  # reprolint: disable=R006 (exact ints)\n"
+                  "b = sum(e.values())\n")
+        result = lint_source(source, scope_path="core/foo.py")
+        assert [d.rule for d in result.diagnostics] == ["R006"]
+        assert result.diagnostics[0].line == 2
+
+
+# -- engine plumbing ----------------------------------------------------------
+
+class TestEngine:
+    def test_syntax_error_reported_not_raised(self):
+        result = lint_source("def broken(:\n", path="bad.py")
+        assert not result.ok
+        assert result.diagnostics[0].rule == "E999"
+
+    def test_scope_path_relative_to_repro_root(self):
+        assert scope_path_for("src/repro/geo/region.py") == "geo/region.py"
+        assert scope_path_for("/x/src/repro/core/cbgpp.py") == "core/cbgpp.py"
+        assert scope_path_for("somewhere/loose.py") == "loose.py"
+
+    def test_diagnostic_render_format(self):
+        source = "total = sum(d.values())\n"
+        result = lint_source(source, path="m.py", scope_path="core/foo.py")
+        rendered = result.diagnostics[0].render()
+        assert rendered.startswith("m.py:1:")
+        assert " R006 " in rendered
+
+    def test_json_report_schema(self):
+        source = "total = sum(d.values())  # reprolint: disable=R999\n"
+        result = lint_source(source, path="m.py", scope_path="core/foo.py")
+        report = report_json(result)
+        assert report["version"] == 1
+        assert report["tool"] == "reprolint"
+        assert report["files_checked"] == 1
+        assert report["ok"] is False
+        for diagnostic in report["diagnostics"]:
+            assert set(diagnostic) == {"path", "line", "col", "rule",
+                                       "message"}
+        json.dumps(report)  # must be serialisable as-is
+
+    def test_rule_ids_catalogue(self):
+        assert RULE_IDS == ("R001", "R002", "R003", "R004", "R005", "R006")
+
+
+class TestCli:
+    def test_failing_file_exits_nonzero(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random\nrandom.random()\n")
+        assert main([str(bad)]) == 1
+        assert "R001" in capsys.readouterr().out
+
+    def test_clean_file_exits_zero(self, tmp_path, capsys):
+        good = tmp_path / "good.py"
+        good.write_text("x = 1\n")
+        assert main([str(good)]) == 0
+        capsys.readouterr()
+
+    def test_missing_path_exits_two(self, capsys):
+        assert main(["definitely/not/here"]) == 2
+        capsys.readouterr()
+
+    def test_json_report_written(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("total = sum(d.values())\n")
+        out = tmp_path / "report.json"
+        assert main([str(bad), "--json", str(out)]) == 1
+        capsys.readouterr()
+        report = json.loads(out.read_text())
+        assert report["ok"] is False
+        assert report["diagnostics"][0]["rule"] == "R006"
+
+
+def test_repository_is_lint_clean():
+    """The meta-test: ``python -m tools.reprolint src/`` must exit 0."""
+    completed = subprocess.run(
+        [sys.executable, "-m", "tools.reprolint", "src"],
+        cwd=REPO_ROOT, capture_output=True, text=True)
+    assert completed.returncode == 0, (
+        f"reprolint found violations in src/:\n{completed.stdout}")

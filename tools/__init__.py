@@ -1,0 +1,1 @@
+"""Repository tooling: benchmarks comparison, reprolint, typecheck gate."""

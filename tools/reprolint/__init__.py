@@ -1,0 +1,31 @@
+"""reprolint: the repository's determinism & invariant linter.
+
+An AST-based static analyser that encodes this reproduction's
+determinism contract as machine-checked rules (R001–R006; see
+``tools/reprolint/rules.py`` and DESIGN.md "Determinism contract &
+static analysis").  Run it as::
+
+    python -m tools.reprolint src/
+
+Diagnostics print as ``file:line:col: RULE message`` and the process
+exits non-zero when any active (unsuppressed) diagnostic remains.
+Intentional exceptions are suppressed inline with::
+
+    something_flagged()  # reprolint: disable=R002 (benchmark timer, not sim time)
+
+A suppression **must** carry a parenthesised reason; a reasonless (or
+unknown-rule) suppression is itself a diagnostic (R000) and does not
+silence anything.
+"""
+
+from .engine import (  # noqa: F401  (public API re-exports)
+    Diagnostic,
+    LintResult,
+    Suppression,
+    lint_paths,
+    lint_source,
+    main,
+    render,
+    report_json,
+)
+from .rules import ALL_RULES, RULE_IDS  # noqa: F401

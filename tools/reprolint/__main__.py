@@ -1,0 +1,8 @@
+"""``python -m tools.reprolint src/`` entry point."""
+
+import sys
+
+from .engine import main
+
+if __name__ == "__main__":
+    sys.exit(main())

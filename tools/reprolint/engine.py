@@ -1,0 +1,286 @@
+"""reprolint engine: file discovery, suppressions, reporting, CLI.
+
+The engine is deliberately dependency-free (stdlib only) so the lint
+gate runs anywhere the repository checks out — CI bootstrap, a
+scipy-free container, a pre-commit hook.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import io
+import json
+import os
+import re
+import sys
+import tokenize
+from dataclasses import asdict, dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .rules import ALL_RULES, RULE_IDS, Rule, build_import_map, \
+    extract_registered_knobs
+
+#: Pseudo-rule for defects in suppression comments themselves
+#: (reasonless, or naming an unknown rule).  Not suppressible.
+META_RULE = "R000"
+
+#: Pseudo-rule for files that fail to parse.  Not suppressible.
+PARSE_RULE = "E999"
+
+_SUPPRESS_RE = re.compile(
+    r"reprolint:\s*disable=(?P<rules>[A-Za-z0-9_,\s]+?)"
+    r"(?:\s*\((?P<reason>[^()]*)\))?\s*$")
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One ``file:line:col rule`` finding."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One well-formed inline suppression (with its mandatory reason)."""
+
+    path: str
+    line: int
+    rules: Tuple[str, ...]
+    reason: str
+
+
+@dataclass
+class LintResult:
+    """Everything one lint run produced."""
+
+    diagnostics: List[Diagnostic]
+    suppressions: List[Suppression]
+    files_checked: int
+
+    @property
+    def ok(self) -> bool:
+        return not self.diagnostics
+
+
+def _parse_suppressions(source: str, path: str
+                        ) -> Tuple[Dict[int, Set[str]], List[Suppression],
+                                   List[Diagnostic]]:
+    """Scan comments for suppressions; malformed ones become diagnostics."""
+    by_line: Dict[int, Set[str]] = {}
+    valid: List[Suppression] = []
+    problems: List[Diagnostic] = []
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return by_line, valid, problems  # parse diagnostics come separately
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _SUPPRESS_RE.search(token.string)
+        if match is None:
+            if "reprolint:" in token.string:
+                problems.append(Diagnostic(
+                    path, token.start[0], token.start[1], META_RULE,
+                    "malformed reprolint comment; expected "
+                    "'# reprolint: disable=RXXX (reason)'"))
+            continue
+        line = token.start[0]
+        rules = tuple(part.strip() for part in
+                      match.group("rules").split(",") if part.strip())
+        reason = (match.group("reason") or "").strip()
+        unknown = [rule for rule in rules if rule not in RULE_IDS]
+        if unknown:
+            problems.append(Diagnostic(
+                path, line, token.start[1], META_RULE,
+                f"suppression names unknown rule(s) {unknown}; "
+                f"known rules: {list(RULE_IDS)}"))
+            continue
+        if not reason:
+            problems.append(Diagnostic(
+                path, line, token.start[1], META_RULE,
+                "suppression must carry a reason: "
+                "'# reprolint: disable=RXXX (why this is intentional)'"))
+            continue
+        by_line.setdefault(line, set()).update(rules)
+        valid.append(Suppression(path=path, line=line, rules=rules,
+                                 reason=reason))
+    return by_line, valid, problems
+
+
+def scope_path_for(path: str) -> str:
+    """A file's path relative to the ``repro`` package root.
+
+    ``src/repro/geo/region.py`` scopes as ``geo/region.py``; files
+    outside a ``repro`` package scope as their bare name, which keeps
+    every rule's subsystem scoping inert for unrelated trees.
+    """
+    parts = os.path.normpath(path).replace(os.sep, "/").split("/")
+    for at in range(len(parts) - 1, -1, -1):
+        if parts[at] == "repro":
+            tail = parts[at + 1:]
+            if tail:
+                return "/".join(tail)
+    return parts[-1]
+
+
+def lint_source(source: str, path: str = "<string>",
+                scope_path: Optional[str] = None,
+                rules: Sequence[Rule] = ALL_RULES) -> LintResult:
+    """Lint one module's source text."""
+    if scope_path is None:
+        scope_path = scope_path_for(path)
+    suppressed_at, suppressions, diagnostics = _parse_suppressions(
+        source, path)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as error:
+        diagnostics.append(Diagnostic(
+            path, error.lineno or 1, (error.offset or 1) - 1, PARSE_RULE,
+            f"file does not parse: {error.msg}"))
+        return LintResult(diagnostics=diagnostics,
+                          suppressions=suppressions, files_checked=1)
+    names = build_import_map(tree)
+    for rule in rules:
+        if not rule.applies_to(scope_path):
+            continue
+        for line, col, message in rule.check(tree, names, scope_path):
+            if rule.id in suppressed_at.get(line, ()):
+                continue
+            diagnostics.append(Diagnostic(path, line, col, rule.id, message))
+    diagnostics.sort(key=lambda d: (d.path, d.line, d.col, d.rule))
+    return LintResult(diagnostics=diagnostics, suppressions=suppressions,
+                      files_checked=1)
+
+
+def _python_files(paths: Iterable[str]) -> List[str]:
+    files: List[str] = []
+    for path in paths:
+        if os.path.isfile(path):
+            files.append(path)
+            continue
+        for root, dirs, entries in os.walk(path):
+            dirs[:] = sorted(d for d in dirs
+                             if d != "__pycache__" and not d.startswith("."))
+            for entry in sorted(entries):
+                if entry.endswith(".py"):
+                    files.append(os.path.join(root, entry))
+    return files
+
+
+def _find_readme(config_path: str) -> Optional[str]:
+    """Walk up from repro/config.py to the repository README.md."""
+    directory = os.path.dirname(os.path.abspath(config_path))
+    for _ in range(6):
+        candidate = os.path.join(directory, "README.md")
+        if os.path.isfile(candidate):
+            return candidate
+        parent = os.path.dirname(directory)
+        if parent == directory:
+            break
+        directory = parent
+    return None
+
+
+def _registry_readme_check(config_path: str, source: str) -> List[Diagnostic]:
+    """R003 cross-check: every registered knob is documented in README."""
+    try:
+        tree = ast.parse(source, filename=config_path)
+    except SyntaxError:
+        return []  # the parse diagnostic is reported by lint_source
+    knobs = extract_registered_knobs(tree)
+    if not knobs:
+        return []
+    readme = _find_readme(config_path)
+    if readme is None:
+        return [Diagnostic(
+            config_path, line, 0, "R003",
+            f"knob '{name}' is registered but no README.md was found to "
+            "document it in")
+            for name, line in knobs]
+    with open(readme, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    return [Diagnostic(
+        config_path, line, 0, "R003",
+        f"registered knob '{name}' is not documented in "
+        f"{os.path.relpath(readme)}; add it to the knob table")
+        for name, line in knobs if name not in text]
+
+
+def lint_paths(paths: Sequence[str],
+               rules: Sequence[Rule] = ALL_RULES) -> LintResult:
+    """Lint every Python file under the given files/directories."""
+    diagnostics: List[Diagnostic] = []
+    suppressions: List[Suppression] = []
+    files = _python_files(paths)
+    for path in files:
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        result = lint_source(source, path=path, rules=rules)
+        diagnostics.extend(result.diagnostics)
+        suppressions.extend(result.suppressions)
+        if scope_path_for(path) == "config.py":
+            diagnostics.extend(_registry_readme_check(path, source))
+    diagnostics.sort(key=lambda d: (d.path, d.line, d.col, d.rule))
+    return LintResult(diagnostics=diagnostics, suppressions=suppressions,
+                      files_checked=len(files))
+
+
+def report_json(result: LintResult) -> dict:
+    """The machine-readable report (schema version 1)."""
+    return {
+        "version": 1,
+        "tool": "reprolint",
+        "files_checked": result.files_checked,
+        "ok": result.ok,
+        "diagnostics": [asdict(d) for d in result.diagnostics],
+        "suppressions": [
+            {"path": s.path, "line": s.line, "rules": list(s.rules),
+             "reason": s.reason}
+            for s in result.suppressions],
+    }
+
+
+def render(result: LintResult) -> str:
+    lines = [diagnostic.render() for diagnostic in result.diagnostics]
+    lines.append(
+        f"reprolint: {len(result.diagnostics)} diagnostic(s), "
+        f"{len(result.suppressions)} suppression(s), "
+        f"{result.files_checked} file(s) checked")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="reprolint",
+        description="AST-based determinism & invariant linter "
+                    "(rules R001-R006; see DESIGN.md)")
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to lint (default: src)")
+    parser.add_argument("--json", metavar="FILE", default=None,
+                        help="also write a JSON report to FILE")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    arguments = parser.parse_args(argv)
+    if arguments.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.id}  {rule.title}")
+        return 0
+    missing = [path for path in arguments.paths if not os.path.exists(path)]
+    if missing:
+        print(f"reprolint: no such path(s): {missing}", file=sys.stderr)
+        return 2
+    result = lint_paths(arguments.paths)
+    print(render(result))
+    if arguments.json:
+        with open(arguments.json, "w", encoding="utf-8") as handle:
+            json.dump(report_json(result), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    return 0 if result.ok else 1

@@ -1,0 +1,467 @@
+"""The determinism-contract rules reprolint enforces.
+
+Each rule is an AST pass over one module.  Rules see the module's
+*scope path* — the file's path relative to the ``repro`` package root
+(e.g. ``geo/region.py``) — so hot-path and subsystem scoping works the
+same for real source trees and for test fixtures.
+
+The contract the rules encode (rationale in DESIGN.md):
+
+========  ==============================================================
+R001      no unseeded randomness: ``np.random.*`` module-level calls,
+          stdlib ``random.*``, and ``np.random.default_rng()`` without
+          an explicit seed all draw from hidden global state, breaking
+          the ``(seed, host_id)`` stream discipline serial == parallel
+          == resumed audits rest on.
+R002      no wall clock in ``core/``, ``netsim/``, ``geo/``,
+          ``experiments/``: the simulator runs on logical campaign
+          time; one ``time.time()`` in a measurement path makes records
+          depend on host speed.
+R003      every ``REPRO_*`` environment knob is read through
+          ``repro/config.py``; scattered ``os.environ`` reads are how a
+          typo'd knob silently changes engines.  Additionally, every
+          knob registered in the config registry must be documented in
+          README.md.
+R004      no dense-bool Region view (``.mask`` / ``.bool_mask``) in the
+          hot-path modules (``geo/bank.py``, ``experiments/audit.py``,
+          ``core/multilateration.py``, ``core/cbgpp.py``): the packed
+          engine's memory contract forbids materialising per-record
+          boolean masks there.
+R005      worker/checkpoint payload dataclasses (and ``*Payload`` type
+          aliases) in ``experiments/audit.py`` / ``experiments/
+          checkpoint.py`` may only be composed of whitelisted
+          fork-safe, JSON-round-trippable field types.
+R006      no ``sum()`` (or ``np.sum``) over ``set()`` literals/calls or
+          ``dict.values()``/``dict.keys()``: float accumulation order
+          over an unordered container is an ordering-dependent
+          summation hazard.
+========  ==============================================================
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+#: (line, col, message) produced by a rule before suppression filtering.
+Finding = Tuple[int, int, str]
+
+
+# -- shared import resolution -------------------------------------------------
+
+def build_import_map(tree: ast.Module) -> Dict[str, str]:
+    """Map bound names to the dotted module/object they refer to.
+
+    ``import numpy as np`` binds ``np -> numpy``; ``from os import
+    environ`` binds ``environ -> os.environ``; relative imports keep
+    just the trailing module path (``from .. import config`` binds
+    ``config -> config``).
+    """
+    names: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    names[alias.asname] = alias.name
+                else:
+                    head = alias.name.split(".")[0]
+                    names[head] = head
+        elif isinstance(node, ast.ImportFrom):
+            module = node.module or ""
+            for alias in node.names:
+                bound = alias.asname or alias.name
+                names[bound] = (f"{module}.{alias.name}" if module
+                                else alias.name)
+    return names
+
+
+def dotted(node: ast.AST, names: Dict[str, str]) -> Optional[str]:
+    """Resolve a Name/Attribute chain to a dotted path, or None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        base = names.get(node.id)
+        if base is None:
+            return None
+        parts.append(base)
+        return ".".join(reversed(parts))
+    return None
+
+
+class Rule:
+    """One lint rule: an id, a scope predicate, and an AST check."""
+
+    id: str = "R000"
+    title: str = ""
+
+    def applies_to(self, scope_path: str) -> bool:
+        return True
+
+    def check(self, tree: ast.Module, names: Dict[str, str],
+              scope_path: str) -> List[Finding]:
+        raise NotImplementedError
+
+
+# -- R001: unseeded randomness ------------------------------------------------
+
+#: numpy.random attributes that are *not* hidden-global-state draws:
+#: explicit generator constructors and bit-generator types.
+_RNG_CONSTRUCTORS = {
+    "default_rng", "Generator", "SeedSequence", "BitGenerator",
+    "PCG64", "PCG64DXSM", "Philox", "SFC64", "MT19937",
+}
+
+
+class UnseededRandomness(Rule):
+    id = "R001"
+    title = "unseeded RNG (hidden global state)"
+
+    def check(self, tree: ast.Module, names: Dict[str, str],
+              scope_path: str) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            path = dotted(node.func, names)
+            if path is None:
+                continue
+            if path.startswith("numpy.random."):
+                leaf = path.rsplit(".", 1)[1]
+                if leaf == "default_rng":
+                    if not node.args and not node.keywords:
+                        findings.append((
+                            node.lineno, node.col_offset,
+                            "np.random.default_rng() without an explicit "
+                            "seed draws OS entropy; derive the generator "
+                            "from the campaign (seed, host_id) instead"))
+                elif leaf not in _RNG_CONSTRUCTORS:
+                    findings.append((
+                        node.lineno, node.col_offset,
+                        f"module-level numpy.random call "
+                        f"'{path}' uses the hidden global RNG; all "
+                        "randomness must flow through explicit "
+                        "(seed, host_id) Generator streams"))
+            elif path == "random" or path.startswith("random."):
+                findings.append((
+                    node.lineno, node.col_offset,
+                    f"stdlib '{path}' draws from the process-global "
+                    "Mersenne Twister; use an explicit numpy Generator "
+                    "keyed by (seed, host_id)"))
+        return findings
+
+
+# -- R002: wall-clock reads ---------------------------------------------------
+
+_WALL_CLOCK = {
+    "time.time", "time.time_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+    "time.monotonic", "time.monotonic_ns",
+    "time.process_time", "time.process_time_ns",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+}
+
+_SIMULATED_TIME_SCOPES = ("core/", "netsim/", "geo/", "experiments/")
+
+
+class WallClock(Rule):
+    id = "R002"
+    title = "wall-clock read in simulated-time code"
+
+    def applies_to(self, scope_path: str) -> bool:
+        return scope_path.startswith(_SIMULATED_TIME_SCOPES)
+
+    def check(self, tree: ast.Module, names: Dict[str, str],
+              scope_path: str) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            path = dotted(node.func, names)
+            if path in _WALL_CLOCK:
+                findings.append((
+                    node.lineno, node.col_offset,
+                    f"'{path}' reads the wall clock; measurement and "
+                    "simulation code runs on logical campaign time only "
+                    "(benchmarks are exempt by scope)"))
+        return findings
+
+
+# -- R003: uncentralised REPRO_* env reads ------------------------------------
+
+#: The one module allowed to touch os.environ for REPRO_* knobs.
+_CONFIG_MODULE = "config.py"
+
+
+def _knob_consts(tree: ast.Module) -> Set[str]:
+    """Module-level names bound to ``REPRO_*`` string literals."""
+    consts: Set[str] = set()
+    for node in tree.body:
+        targets: List[ast.expr] = []
+        value: Optional[ast.expr] = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        if (isinstance(value, ast.Constant) and isinstance(value.value, str)
+                and value.value.startswith("REPRO_")):
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    consts.add(target.id)
+    return consts
+
+
+def _is_knob_key(node: ast.expr, consts: Set[str]) -> bool:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value.startswith("REPRO_")
+    if isinstance(node, ast.Name):
+        # *_ENV is the repo's naming convention for knob-name constants,
+        # including ones assigned from the registry (config.X.name).
+        return node.id in consts or node.id.endswith("_ENV")
+    return False
+
+
+class UncentralisedKnobRead(Rule):
+    id = "R003"
+    title = "REPRO_* env read outside repro/config.py"
+
+    def applies_to(self, scope_path: str) -> bool:
+        return scope_path != _CONFIG_MODULE
+
+    def check(self, tree: ast.Module, names: Dict[str, str],
+              scope_path: str) -> List[Finding]:
+        findings: List[Finding] = []
+        consts = _knob_consts(tree)
+        message = ("reads a REPRO_* knob directly from the environment; "
+                   "all knob reads must go through repro.config.env_value "
+                   "so unknown values fail loudly")
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Call):
+                path = dotted(node.func, names)
+                if (path in ("os.getenv",) and node.args
+                        and _is_knob_key(node.args[0], consts)):
+                    findings.append((node.lineno, node.col_offset, message))
+                elif (path in ("os.environ.get", "os.environ.pop",
+                               "os.environ.setdefault") and node.args
+                        and _is_knob_key(node.args[0], consts)):
+                    findings.append((node.lineno, node.col_offset, message))
+            elif isinstance(node, ast.Subscript):
+                if (dotted(node.value, names) == "os.environ"
+                        and _is_knob_key(node.slice, consts)):
+                    findings.append((node.lineno, node.col_offset, message))
+            elif isinstance(node, ast.Compare):
+                if (len(node.ops) == 1
+                        and isinstance(node.ops[0], (ast.In, ast.NotIn))
+                        and _is_knob_key(node.left, consts)
+                        and dotted(node.comparators[0], names)
+                        == "os.environ"):
+                    findings.append((node.lineno, node.col_offset, message))
+        return findings
+
+
+# -- R004: dense-bool Region views on hot paths -------------------------------
+
+_HOT_MODULES = frozenset({
+    "geo/bank.py", "experiments/audit.py",
+    "core/multilateration.py", "core/cbgpp.py",
+})
+
+_BOOL_VIEW_ATTRS = frozenset({"mask", "bool_mask"})
+
+
+class HotPathBoolView(Rule):
+    id = "R004"
+    title = "dense-bool Region view on a hot path"
+
+    def applies_to(self, scope_path: str) -> bool:
+        return scope_path in _HOT_MODULES
+
+    def check(self, tree: ast.Module, names: Dict[str, str],
+              scope_path: str) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(tree):
+            if (isinstance(node, ast.Attribute)
+                    and node.attr in _BOOL_VIEW_ATTRS):
+                findings.append((
+                    node.lineno, node.col_offset,
+                    f"'.{node.attr}' materialises the dense boolean "
+                    "Region view; hot-path modules must stay on packed "
+                    "uint64 words (PR 4 memory contract)"))
+        return findings
+
+
+# -- R005: payload field-type whitelist ---------------------------------------
+
+_PAYLOAD_MODULES = frozenset({
+    "experiments/audit.py", "experiments/checkpoint.py",
+})
+
+#: Fork-safe, JSON-round-trippable leaves payload annotations may use.
+_PAYLOAD_OK_LEAVES = frozenset({
+    "int", "float", "str", "bool", "bytes", "None", "NoneType",
+    "Optional", "Union", "List", "Dict", "Tuple", "Sequence", "Mapping",
+    "Iterable", "Set", "FrozenSet",
+    "list", "dict", "tuple", "set", "frozenset",
+    # Domain records proven round-trippable by the checkpoint codec:
+    "AuditRecord", "EtaEstimate", "ClaimAssessment", "RttObservation",
+    "ServerPayload", "Verdict", "ContinentVerdict", "Region",
+})
+
+
+def _bad_annotation_leaves(node: Optional[ast.expr]) -> List[str]:
+    if node is None:
+        return []
+    if isinstance(node, ast.Constant):
+        if node.value is None or node.value is Ellipsis:
+            return []
+        if isinstance(node.value, str):
+            ident = node.value.strip()
+            return [] if ident in _PAYLOAD_OK_LEAVES else [ident]
+        return [repr(node.value)]
+    if isinstance(node, ast.Name):
+        return [] if node.id in _PAYLOAD_OK_LEAVES else [node.id]
+    if isinstance(node, ast.Attribute):
+        return [] if node.attr in _PAYLOAD_OK_LEAVES else [node.attr]
+    if isinstance(node, ast.Subscript):
+        return (_bad_annotation_leaves(node.value)
+                + _bad_annotation_leaves(node.slice))
+    if isinstance(node, ast.Tuple):
+        bad: List[str] = []
+        for element in node.elts:
+            bad.extend(_bad_annotation_leaves(element))
+        return bad
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+        return (_bad_annotation_leaves(node.left)
+                + _bad_annotation_leaves(node.right))
+    return [ast.dump(node)[:40]]
+
+
+def _is_dataclass_decorated(node: ast.ClassDef) -> bool:
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        if isinstance(target, ast.Name) and target.id == "dataclass":
+            return True
+        if isinstance(target, ast.Attribute) and target.attr == "dataclass":
+            return True
+    return False
+
+
+class PayloadFieldTypes(Rule):
+    id = "R005"
+    title = "non-whitelisted payload field type"
+
+    def applies_to(self, scope_path: str) -> bool:
+        return scope_path in _PAYLOAD_MODULES
+
+    def check(self, tree: ast.Module, names: Dict[str, str],
+              scope_path: str) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ClassDef) and _is_dataclass_decorated(node):
+                for statement in node.body:
+                    if not isinstance(statement, ast.AnnAssign):
+                        continue
+                    for leaf in _bad_annotation_leaves(statement.annotation):
+                        findings.append((
+                            statement.lineno, statement.col_offset,
+                            f"dataclass '{node.name}' field uses "
+                            f"non-whitelisted type '{leaf}'; payloads "
+                            "cross fork/JSON boundaries and may only use "
+                            "fork-safe, round-trippable field types"))
+        for statement in tree.body:
+            if (isinstance(statement, ast.Assign)
+                    and len(statement.targets) == 1
+                    and isinstance(statement.targets[0], ast.Name)
+                    and statement.targets[0].id.endswith("Payload")):
+                for leaf in _bad_annotation_leaves(statement.value):
+                    findings.append((
+                        statement.lineno, statement.col_offset,
+                        f"payload alias "
+                        f"'{statement.targets[0].id}' uses non-whitelisted "
+                        f"type '{leaf}'"))
+        return findings
+
+
+# -- R006: order-dependent float reductions -----------------------------------
+
+def _is_unordered_iterable(node: ast.expr) -> bool:
+    if isinstance(node, ast.Set):
+        return True
+    if isinstance(node, ast.Call):
+        if (isinstance(node.func, ast.Name)
+                and node.func.id in ("set", "frozenset")):
+            return True
+        if (isinstance(node.func, ast.Attribute)
+                and node.func.attr in ("values", "keys")):
+            return True
+    return False
+
+
+class UnorderedReduction(Rule):
+    id = "R006"
+    title = "float reduction over an unordered container"
+
+    def check(self, tree: ast.Module, names: Dict[str, str],
+              scope_path: str) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call) or not node.args:
+                continue
+            is_sum = (isinstance(node.func, ast.Name)
+                      and node.func.id == "sum")
+            is_np_sum = dotted(node.func, names) == "numpy.sum"
+            if not (is_sum or is_np_sum):
+                continue
+            argument = node.args[0]
+            hazardous = _is_unordered_iterable(argument)
+            if not hazardous and isinstance(
+                    argument, (ast.GeneratorExp, ast.ListComp, ast.SetComp)):
+                hazardous = any(_is_unordered_iterable(generator.iter)
+                                for generator in argument.generators)
+            if hazardous:
+                findings.append((
+                    node.lineno, node.col_offset,
+                    "summation over a set()/dict.values() iterates in "
+                    "hash/insertion order; float accumulation order "
+                    "becomes run-dependent — reduce over an explicitly "
+                    "ordered sequence instead"))
+        return findings
+
+
+ALL_RULES: Tuple[Rule, ...] = (
+    UnseededRandomness(),
+    WallClock(),
+    UncentralisedKnobRead(),
+    HotPathBoolView(),
+    PayloadFieldTypes(),
+    UnorderedReduction(),
+)
+
+RULE_IDS: Tuple[str, ...] = tuple(rule.id for rule in ALL_RULES)
+
+
+def extract_registered_knobs(tree: ast.Module) -> List[Tuple[str, int]]:
+    """(knob name, line) for every ``Knob(name="REPRO_...")`` call.
+
+    Used by the engine's R003 cross-check: each registered knob must be
+    documented in README.md.
+    """
+    knobs: List[Tuple[str, int]] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        target = node.func
+        name = (target.id if isinstance(target, ast.Name)
+                else target.attr if isinstance(target, ast.Attribute)
+                else None)
+        if name != "Knob":
+            continue
+        for keyword in node.keywords:
+            if (keyword.arg == "name"
+                    and isinstance(keyword.value, ast.Constant)
+                    and isinstance(keyword.value.value, str)
+                    and keyword.value.value.startswith("REPRO_")):
+                knobs.append((keyword.value.value, node.lineno))
+    return knobs

@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Run the strict typing gate (mypy) over its declared scope.
+
+The scope and strictness flags live in ``pyproject.toml`` under
+``[tool.mypy]``; this wrapper exists so the gate degrades gracefully in
+environments where mypy is not installed (the pinned repro container
+ships only the runtime deps).  There it prints a notice and exits 0;
+CI installs mypy and gets the real check.
+
+Usage::
+
+    python tools/typecheck.py            # gate (skips if mypy missing)
+    python tools/typecheck.py --require  # fail if mypy is missing (CI)
+"""
+
+from __future__ import annotations
+
+import argparse
+import subprocess
+import sys
+
+
+def mypy_available() -> bool:
+    try:
+        import mypy  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--require", action="store_true",
+        help="exit non-zero when mypy is not installed (for CI)")
+    arguments = parser.parse_args(argv)
+    if not mypy_available():
+        if arguments.require:
+            print("typecheck: mypy is not installed and --require was given",
+                  file=sys.stderr)
+            return 2
+        print("typecheck: mypy not installed; skipping the strict typing "
+              "gate (CI runs it with mypy installed)")
+        return 0
+    completed = subprocess.run(
+        [sys.executable, "-m", "mypy", "--config-file", "pyproject.toml"],
+        check=False)
+    return completed.returncode
+
+
+if __name__ == "__main__":
+    sys.exit(main())
