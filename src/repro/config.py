@@ -136,6 +136,16 @@ PATHENGINE_CACHE = _register(Knob(
         "unset disables persistence.",
 ))
 
+AUDIT_ENGINE = _register(Knob(
+    name="REPRO_AUDIT_ENGINE",
+    kind="choice",
+    default="fleet",
+    choices=("fleet", "perserver"),
+    doc="Fleet-audit multilateration engine: one vectorised NumPy pass "
+        "over all servers at once (the native engine) or the historical "
+        "per-server Python pipeline; both emit byte-identical records.",
+))
+
 SANITIZE = _register(Knob(
     name="REPRO_SANITIZE",
     kind="flag",

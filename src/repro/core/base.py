@@ -64,3 +64,15 @@ class GeolocationAlgorithm(abc.ABC):
     @abc.abstractmethod
     def predict(self, observations: Sequence[RttObservation]) -> Prediction:
         """Estimate where the target is."""
+
+    def predict_fleet(self, fleets: Sequence[Sequence[RttObservation]]
+                      ) -> List[Prediction]:
+        """Predict a whole fleet of targets, one panel per server.
+
+        The contract every override must honour: the result is
+        bit-identical to ``[self.predict(panel) for panel in fleets]`` —
+        fleet batching is a throughput lever, never a semantics lever.
+        This default is that very loop; vectorised algorithms override
+        it with a single sweep over the distance bank.
+        """
+        return [self.predict(panel) for panel in fleets]

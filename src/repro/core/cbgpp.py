@@ -28,6 +28,7 @@ import numpy as np
 from ..geo.region import Region, region_engine
 from .base import Prediction
 from .cbg import CBG
+from .fleetpanel import build_fleet_panel
 from .multilateration import DiskConstraint, largest_consistent_subset
 from .observations import RttObservation
 
@@ -141,6 +142,72 @@ class CBGPlusPlus(CBG):
             used_landmarks=chosen,
             discarded_landmarks=discarded,
         )
+
+    def predict_fleet(self, fleets: Sequence[Sequence[RttObservation]]
+                      ) -> List[Prediction]:
+        """One bank sweep for every server of a fleet at once.
+
+        The vectorised prefilter evaluates both disk families for all
+        servers in a handful of NumPy passes over the block aggregates
+        (see DESIGN.md §5d).  Servers whose joint AND is non-empty — the
+        overwhelming majority — are finished right there, exactly like
+        :meth:`predict`'s fast path; the rest carry genuinely
+        conflicting disks and drop to the scalar pipeline, whose
+        largest-consistent-subset search is inherently per-server.
+        Bit-identical to ``[self.predict(p) for p in fleets]``: the
+        fleet kernel compares the same float32 fields against the same
+        float32 radii, an AND is order-independent, and ``+inf`` padding
+        slots constrain nothing.
+        """
+        prepared = [self._prepare(panel) for panel in fleets]
+        if not prepared:
+            return []
+        panel = build_fleet_panel(self.grid.bank, prepared)
+        best_rows: List[np.ndarray] = []
+        base_rows: List[np.ndarray] = []
+        for observations in prepared:
+            names = [obs.landmark_name for obs in observations]
+            delays = np.array([obs.one_way_ms for obs in observations])
+            best_rows.append(self.disk_radii_km(names, delays)
+                             .astype(np.float32))
+            base_rows.append(self.baseline_radii_km(delays)
+                             .astype(np.float32))
+        best_radii = panel.pad_radii(best_rows)
+        base_radii = panel.pad_radii(base_rows)
+        joint_radii = np.minimum(base_radii, best_radii)
+        packed = region_engine() == "packed"
+        grid = self.grid
+        # Only the joint family needs the fleet sweep: every joint disk
+        # sits inside its baseline disk, so a non-empty joint AND proves
+        # the baseline AND non-empty too — exactly predict()'s fast-path
+        # precondition.  Servers that miss the fast path (conflicting
+        # disks, or the rare coastal region that clipping empties) re-run
+        # the scalar pipeline, which *is* the definition of the result.
+        family = grid.bank.disk_intersections_fleet(
+            panel.rows, joint_radii[None], packed=packed)[0]
+        # The terrain clip is one fleet-wide AND against the plausibility
+        # bitset — the same words/mask ``_clip`` ANDs per region — so the
+        # per-server loop below only wraps the rows that survived.
+        if packed:
+            clipped = family & self.worldmap.plausibility_words[None, :]
+        else:
+            clipped = family & self.worldmap.plausibility_mask[None, :]
+        joint_nonempty = family.any(axis=1)
+        clip_nonempty = clipped.any(axis=1)
+        results: List[Prediction] = []
+        for s, observations in enumerate(prepared):
+            if not (joint_nonempty[s] and clip_nonempty[s]):
+                results.append(self.predict(observations))
+                continue
+            region = (Region.from_words(grid, clipped[s]) if packed
+                      else Region(grid, clipped[s]))
+            results.append(Prediction(
+                algorithm=self.name,
+                region=region,
+                used_landmarks=[obs.landmark_name for obs in observations],
+                discarded_landmarks=[],
+            ))
+        return results
 
     # -- analysis helpers ----------------------------------------------------
 

@@ -14,6 +14,7 @@ from typing import Dict, List, Sequence
 import numpy as np
 
 from .base import GeolocationAlgorithm, Prediction
+from .fleetpanel import build_fleet_panel
 from .multilateration import RingConstraint, mode_region_from_votes
 from .observations import RttObservation
 
@@ -71,3 +72,31 @@ class QuasiOctant(GeolocationAlgorithm):
             region=self._clip(region),
             used_landmarks=[obs.landmark_name for obs in observations],
         )
+
+    def predict_fleet(self, fleets: Sequence[Sequence[RttObservation]]
+                      ) -> List[Prediction]:
+        """Ring votes for every server of a fleet in one bank sweep.
+
+        Bit-identical to the per-server loop: vote counts are exact
+        integer sums, and padded slots carry ``+inf`` rings that cover
+        no cell.
+        """
+        prepared = [self._prepare(panel) for panel in fleets]
+        if not prepared:
+            return []
+        panel = build_fleet_panel(self.grid.bank, prepared)
+        fleet_rings = [self.rings(observations) for observations in prepared]
+        inner = panel.pad_radii([
+            np.array([ring.inner_km for ring in rings], dtype=np.float32)
+            for rings in fleet_rings])
+        outer = panel.pad_radii([
+            np.array([ring.outer_km for ring in rings], dtype=np.float32)
+            for rings in fleet_rings])
+        votes = self.grid.bank.ring_votes_fleet(panel.rows, inner, outer)
+        return [Prediction(
+            algorithm=self.name,
+            region=self._clip(mode_region_from_votes(
+                self.grid, votes[s],
+                base_mask=self.worldmap.plausibility_mask)),
+            used_landmarks=[obs.landmark_name for obs in observations],
+        ) for s, observations in enumerate(prepared)]

@@ -84,6 +84,30 @@ class TwoPhaseResult:
     notes: List[str] = field(default_factory=list)
 
 
+@dataclass
+class TwoPhaseMeasurement:
+    """The measurement half of a two-phase run, before multilateration.
+
+    :meth:`TwoPhaseDriver.collect` produces one of these — it consumes
+    every RNG draw the run will ever make — and
+    :meth:`TwoPhaseDriver.finish` turns it into a :class:`TwoPhaseResult`
+    without touching any random stream.  The split is what lets the
+    fleet audit engine collect a whole batch of per-server measurements
+    first (in per-``(seed, host_id)`` stream order) and multilaterate
+    them all in one vectorised pass afterwards.
+    """
+
+    #: Combined multilateration input: phase-2 observations followed by
+    #: the reusable phase-1 observations, in measurement order.
+    observations: List[RttObservation]
+    deduced_continent: str
+    phase1_observations: List[RttObservation]
+    phase2_observations: List[RttObservation]
+    phase2_landmarks: List[str]
+    degraded: bool = False
+    notes: List[str] = field(default_factory=list)
+
+
 class TwoPhaseSelector:
     """Chooses phase-1 and phase-2 landmark sets from the constellation."""
 
@@ -199,15 +223,15 @@ class TwoPhaseDriver:
                     panel.append(lm)
         return panel
 
-    def locate(self, measure: MeasureFn,
-               rng: Optional[np.random.Generator] = None) -> TwoPhaseResult:
-        """Measure, deduce the continent, measure again, multilaterate.
+    def collect(self, measure: MeasureFn,
+                rng: Optional[np.random.Generator] = None
+                ) -> TwoPhaseMeasurement:
+        """Run both measurement phases; defer the multilateration.
 
-        Phase-1 observations from the deduced continent are reused in the
-        final multilateration — they are valid measurements and cost
-        nothing extra.  Partial failure degrades the result (widened
-        panels, at worst an empty prediction) instead of raising; the
-        ``degraded`` flag and ``notes`` record what happened.
+        Consumes exactly the RNG draws :meth:`locate` would — panel
+        selection, widening, every probe — and returns the combined
+        observation list plus all degradation bookkeeping.  Pair with
+        :meth:`finish` (which draws nothing) to complete the run.
         """
         degraded = False
         notes: List[str] = []
@@ -261,20 +285,16 @@ class TwoPhaseDriver:
                 phase2_landmarks = list(phase2_landmarks) + extra_panel
                 combined = phase2 + list(phase1)
 
-        if len(combined) >= MIN_MULTILATERATION_OBSERVATIONS:
-            prediction = self.algorithm.predict(combined)
-        else:
+        if len(combined) < MIN_MULTILATERATION_OBSERVATIONS:
             degraded = True
             notes.append(f"{len(combined)} observations after every "
                          "fallback; target unlocatable")
-            prediction = Prediction(algorithm=self.algorithm.name,
-                                    region=Region.empty(self.algorithm.grid))
 
         if continent is None and combined:
             continent = self.selector.continent_of_landmark(
                 min(combined, key=lambda obs: obs.one_way_ms).landmark_name)
-        return TwoPhaseResult(
-            prediction=prediction,
+        return TwoPhaseMeasurement(
+            observations=combined,
             deduced_continent=continent if continent is not None else "unknown",
             phase1_observations=list(phase1),
             phase2_observations=list(phase2),
@@ -282,3 +302,42 @@ class TwoPhaseDriver:
             degraded=degraded,
             notes=notes,
         )
+
+    def finish(self, measurement: TwoPhaseMeasurement,
+               prediction: Optional[Prediction] = None) -> TwoPhaseResult:
+        """Multilaterate a collected measurement into a full result.
+
+        Draws no randomness, so it can run at any time after
+        :meth:`collect` — immediately (the per-server engine) or after a
+        whole fleet's measurements are in (the vectorised engine, which
+        passes the batched ``prediction`` in explicitly).
+        """
+        if prediction is None:
+            observations = measurement.observations
+            if len(observations) >= MIN_MULTILATERATION_OBSERVATIONS:
+                prediction = self.algorithm.predict(observations)
+            else:
+                prediction = Prediction(
+                    algorithm=self.algorithm.name,
+                    region=Region.empty(self.algorithm.grid))
+        return TwoPhaseResult(
+            prediction=prediction,
+            deduced_continent=measurement.deduced_continent,
+            phase1_observations=measurement.phase1_observations,
+            phase2_observations=measurement.phase2_observations,
+            phase2_landmarks=measurement.phase2_landmarks,
+            degraded=measurement.degraded,
+            notes=measurement.notes,
+        )
+
+    def locate(self, measure: MeasureFn,
+               rng: Optional[np.random.Generator] = None) -> TwoPhaseResult:
+        """Measure, deduce the continent, measure again, multilaterate.
+
+        Phase-1 observations from the deduced continent are reused in the
+        final multilateration — they are valid measurements and cost
+        nothing extra.  Partial failure degrades the result (widened
+        panels, at worst an empty prediction) instead of raising; the
+        ``degraded`` flag and ``notes`` record what happened.
+        """
+        return self.finish(self.collect(measure, rng))

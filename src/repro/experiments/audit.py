@@ -22,7 +22,13 @@ from ..core.base import GeolocationAlgorithm
 from ..core.cbgpp import CBGPlusPlus
 from ..core.disambiguation import AuditRecord, refine_assessments
 from ..core.proxy_adapter import EtaEstimate, ProxyMeasurer, estimate_eta
-from ..core.twophase import TwoPhaseDriver, TwoPhaseSelector
+from ..core.twophase import (
+    MIN_MULTILATERATION_OBSERVATIONS,
+    TwoPhaseDriver,
+    TwoPhaseResult,
+    TwoPhaseSelector,
+)
+from .. import config
 from ..geo.region import Region
 from ..netsim.faults import (
     FaultInjector,
@@ -167,6 +173,93 @@ def _payload_for(scenario: Scenario, driver: TwoPhaseDriver,
             observations, names, degraded, notes)
 
 
+def _collect_one(scenario: Scenario, driver: TwoPhaseDriver,
+                 server: ProxyServer, eta: EtaEstimate, seed: int):
+    """Measure one proxy without multilaterating: the fleet front half.
+
+    RNG keying, measurer construction, and measurement-epoch scoping are
+    identical to :func:`_audit_one` — only the prediction is deferred so
+    a whole batch of measurements can share one vectorised sweep.
+    Returns the :class:`TwoPhaseMeasurement`, or the
+    :class:`MeasurementFailed` exception for a dead tunnel.
+    """
+    rng = np.random.default_rng((seed, server.host.host_id))
+    measurer = ProxyMeasurer(scenario.network, scenario.client, server,
+                             eta=eta.eta, seed=server.host.host_id)
+    with scenario.network.measurement_epoch_for(server.host):
+        try:
+            return driver.collect(measurer.observe, rng)
+        except MeasurementFailed as exc:
+            return exc
+
+
+def _payload_from_result(scenario: Scenario, servers: List[ProxyServer],
+                         index: int, result: TwoPhaseResult) -> ServerPayload:
+    server = servers[index]
+    assessment = assess_claim(result.prediction.region,
+                              server.claimed_country, scenario.worldmap)
+    observations = (list(result.phase2_observations)
+                    + list(result.phase1_observations))
+    return (index, result.prediction.region.packed_bytes(), assessment,
+            observations, list(result.phase2_landmarks), result.degraded,
+            list(result.notes))
+
+
+def _fleet_payloads(scenario: Scenario, driver: TwoPhaseDriver,
+                    servers: List[ProxyServer], indices: List[int],
+                    eta: EtaEstimate, seed: int) -> List[ServerPayload]:
+    """Audit a batch of servers through the fleet multilateration engine.
+
+    Measurement stays per-server (streams keyed by ``(seed, host_id)``,
+    exactly as the scalar engine); only the multilateration step is
+    batched into one ``predict_fleet`` sweep.  Servers that cannot take
+    that sweep use the scalar engine's own fallbacks: a dead tunnel
+    yields the empty-region payload, an observation-starved (degraded)
+    measurement is finished without multilateration.  Payloads come back
+    in ``indices`` order, so checkpoint journals are written in the same
+    order as the per-server engine's.
+    """
+    payloads: List[ServerPayload] = []
+    fleet: List[tuple] = []
+    for index in indices:
+        server = servers[index]
+        collected = _collect_one(scenario, driver, server, eta, seed)
+        if isinstance(collected, MeasurementFailed):
+            region = Region.empty(driver.algorithm.grid)
+            assessment = assess_claim(region, server.claimed_country,
+                                      scenario.worldmap)
+            payloads.append((index, region.packed_bytes(), assessment,
+                             [], [], True,
+                             [f"tunnel unreachable: {collected}"]))
+        elif (len(collected.observations)
+              < MIN_MULTILATERATION_OBSERVATIONS):
+            payloads.append(_payload_from_result(
+                scenario, servers, index, driver.finish(collected)))
+        else:
+            fleet.append((index, collected))
+    if fleet:
+        predictions = driver.algorithm.predict_fleet(
+            [measurement.observations for _, measurement in fleet])
+        for (index, measurement), prediction in zip(fleet, predictions):
+            payloads.append(_payload_from_result(
+                scenario, servers, index,
+                driver.finish(measurement, prediction)))
+    order = {index: at for at, index in enumerate(indices)}
+    payloads.sort(key=lambda payload: order[payload[0]])
+    return payloads
+
+
+def _chunk_payloads(scenario: Scenario, driver: TwoPhaseDriver,
+                    servers: List[ProxyServer], indices: List[int],
+                    eta: EtaEstimate, seed: int,
+                    engine: str) -> List[ServerPayload]:
+    """One work unit's payloads, through the selected audit engine."""
+    if engine == "fleet":
+        return _fleet_payloads(scenario, driver, servers, indices, eta, seed)
+    return [_payload_for(scenario, driver, servers, index, eta, seed)
+            for index in indices]
+
+
 def _record_from(server: ProxyServer, region: Region,
                  assessment: ClaimAssessment, observations: list,
                  landmark_names: List[str], degraded: bool,
@@ -194,9 +287,9 @@ def _record_from_payload(servers: List[ProxyServer], grid,
 
 
 def _fork_worker(indices: List[int]) -> List[ServerPayload]:
-    scenario, driver, servers, eta, seed = _FORK_STATE
-    return [_payload_for(scenario, driver, servers, index, eta, seed)
-            for index in indices]
+    scenario, driver, servers, eta, seed, engine = _FORK_STATE
+    return _chunk_payloads(scenario, driver, servers, indices, eta, seed,
+                           engine)
 
 
 #: Servers per checkpointed work unit: small enough that a killed audit
@@ -207,8 +300,8 @@ _CHECKPOINT_CHUNK = 4
 def _parallel_payloads(scenario: Scenario, driver: TwoPhaseDriver,
                        servers: List[ProxyServer], eta: EtaEstimate,
                        seed: int, workers: int, indices: List[int],
-                       on_payload: Optional[Callable[[ServerPayload], None]]
-                       ) -> List[ServerPayload]:
+                       on_payload: Optional[Callable[[ServerPayload], None]],
+                       engine: str) -> List[ServerPayload]:
     """Fan the per-server audits over forked worker processes.
 
     Fork (not spawn) is required: the children inherit the scenario —
@@ -228,7 +321,7 @@ def _parallel_payloads(scenario: Scenario, driver: TwoPhaseDriver,
         chunks = [indices[at:at + _CHECKPOINT_CHUNK]
                   for at in range(0, len(indices), _CHECKPOINT_CHUNK)]
     chunks = [chunk for chunk in chunks if chunk]
-    _FORK_STATE = (scenario, driver, servers, eta, seed)
+    _FORK_STATE = (scenario, driver, servers, eta, seed, engine)
     payloads: List[ServerPayload] = []
     try:
         with ProcessPoolExecutor(max_workers=workers,
@@ -242,6 +335,33 @@ def _parallel_payloads(scenario: Scenario, driver: TwoPhaseDriver,
     finally:
         _FORK_STATE = None
     return payloads
+
+
+#: Campaign-level η estimates, keyed by (scenario token, seed, profile).
+#: η is a pure function of that key: the fitting rng is derived from the
+#: seed alone, fault epochs are order-independent functions of host ids,
+#: and the draws never feed any later per-server stream — so a cache hit
+#: is bit-identical to refitting, and repeated quick audits of the same
+#: campaign skip the whole-fleet self-ping sweep.
+_ETA_CACHE: "OrderedDict[tuple, EtaEstimate]" = OrderedDict()
+_ETA_CACHE_SLOTS = 16
+
+
+def _campaign_eta(scenario: Scenario, seed: int,
+                  profile: Optional[FaultProfile],
+                  rng: np.random.Generator) -> EtaEstimate:
+    """The memoised whole-fleet η fit for one (scenario, seed, profile)."""
+    key = (_scenario_token(scenario), seed, profile)
+    eta = _ETA_CACHE.get(key)
+    if eta is None:
+        eta = estimate_eta(scenario.network, scenario.client,
+                           scenario.all_servers(), rng)
+        _ETA_CACHE[key] = eta
+        while len(_ETA_CACHE) > _ETA_CACHE_SLOTS:
+            _ETA_CACHE.popitem(last=False)
+    else:
+        _ETA_CACHE.move_to_end(key)
+    return eta
 
 
 def run_audit(scenario: Scenario,
@@ -283,6 +403,9 @@ def run_audit(scenario: Scenario,
         an uninterrupted run.  Without ``resume`` an existing journal is
         overwritten.
     """
+    # Resolve the engine up front so a typo'd knob fails before any
+    # measurement, not in the middle of a forked worker.
+    engine = str(config.env_value("REPRO_AUDIT_ENGINE"))
     rng = np.random.default_rng(seed)
     if algorithm is None:
         algorithm = CBGPlusPlus(scenario.calibrations, scenario.worldmap)
@@ -320,15 +443,21 @@ def run_audit(scenario: Scenario,
     # Warm the shortest-path engine for every router this audit can
     # touch — one batched Dijkstra — before any measurement and before
     # the worker pool forks, so children inherit the rows as
-    # copy-on-write pages (a no-op under the networkx oracle).
+    # copy-on-write pages (a no-op under the networkx oracle).  Only the
+    # *audited* servers are warmed: a truncated quick run must not pay a
+    # full-fleet Dijkstra for servers it will never measure.
     scenario.network.warm_paths(
         [scenario.client]
         + [lm.host for lm in scenario.atlas.all_landmarks()]
-        + [server.host for server in scenario.all_servers()])
+        + [server.host for server in servers])
 
     with scenario.network.faults_installed(injector):
-        eta = estimate_eta(scenario.network, scenario.client,
-                           scenario.all_servers(), rng)
+        # η is a campaign-level calibration: it is always fitted over the
+        # scenario's whole fleet (never the truncated slice), so the same
+        # (scenario, seed, profile) yields the same η no matter which
+        # servers are audited — truncated quick runs stay bit-identical
+        # to the corresponding slice of a full audit.
+        eta = _campaign_eta(scenario, seed, profile, rng)
         selector = TwoPhaseSelector(scenario.atlas, seed=seed)
         driver = TwoPhaseDriver(selector, algorithm)
 
@@ -340,15 +469,25 @@ def run_audit(scenario: Scenario,
         if use_fork:
             payloads = _parallel_payloads(
                 scenario, driver, servers, eta, seed,
-                min(workers, len(pending)), pending, on_payload)
+                min(workers, len(pending)), pending, on_payload, engine)
         else:
+            # Serial: one fleet batch over everything pending — unless a
+            # checkpoint sink wants journal granularity, in which case
+            # the batches mirror the parallel path's chunking so a kill
+            # loses at most a chunk either way.
+            if on_payload is None:
+                batches = [pending] if pending else []
+            else:
+                batches = [pending[at:at + _CHECKPOINT_CHUNK]
+                           for at in range(0, len(pending),
+                                           _CHECKPOINT_CHUNK)]
             payloads = []
-            for index in pending:
-                payload = _payload_for(scenario, driver, servers, index,
-                                       eta, seed)
-                payloads.append(payload)
-                if on_payload is not None:
-                    on_payload(payload)
+            for batch in batches:
+                for payload in _chunk_payloads(scenario, driver, servers,
+                                               batch, eta, seed, engine):
+                    payloads.append(payload)
+                    if on_payload is not None:
+                        on_payload(payload)
 
     for payload in payloads:
         completed[payload[0]] = payload

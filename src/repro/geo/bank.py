@@ -27,7 +27,7 @@ import numpy as np
 
 from .. import sanitize
 from ..geodesy.greatcircle import haversine_km_vec, validate_latlon
-from .region import pack_bits
+from .region import n_words_for, pack_bits
 
 #: Decimal places used to key a coordinate (matches the old grid LRU).
 _KEY_DECIMALS = 5
@@ -345,6 +345,170 @@ class DistanceBank:
                 verdict &= self._fields[rows[i]][cells] <= radii[f, i]
             out[f][cells] = verdict
         return pack_bits(out) if packed else out
+
+    # -- fleet-level kernels -------------------------------------------------
+    #
+    # The per-server kernels above answer "one target, k landmarks"; a
+    # fleet audit asks the same question for hundreds of targets whose
+    # landmark panels heavily overlap.  The fleet front ends take padded
+    # ``(n_servers, k)`` matrices of *bank row indices* (resolve them
+    # with :meth:`rows` immediately beforehand — eviction renumbers rows)
+    # plus per-server radii, and sweep the whole fleet through the block
+    # aggregates in chunks of servers.  Padding slots carry ``+inf``
+    # radii (disks) or ``+inf`` rings, which constrain nothing, so ragged
+    # panels need no masking logic.  Results are bit-identical, server
+    # for server, to the per-server kernels: both settle whole blocks
+    # from the same aggregates and compare the same float32 fields
+    # against the same float32 radii on edge cells.
+
+    #: Servers per fleet-kernel sweep: bounds scratch memory at
+    #: ~(chunk × k × n_blocks) floats regardless of fleet size, which is
+    #: what keeps the 1k-server marginal cost flat.
+    FLEET_CHUNK = 64
+
+    #: (server, edge-block) pairs refined per gather; bounds the exact
+    #: edge-cell scratch at ~(pairs × k × block cells) float32.
+    _EDGE_PAIR_CHUNK = 2048
+
+    def _validate_fleet_rows(self, rows: np.ndarray) -> np.ndarray:
+        rows = np.asarray(rows, dtype=np.intp)
+        if rows.ndim != 2:
+            raise ValueError(f"fleet rows must be 2-D, got {rows.ndim}-D")
+        if rows.size and (rows.min() < 0 or rows.max() >= self.n_points):
+            raise ValueError("fleet row index out of range; resolve rows "
+                             "with DistanceBank.rows() first")
+        return rows
+
+    def disk_intersections_fleet(self, rows: np.ndarray,
+                                 radii_families: np.ndarray,
+                                 packed: bool = False) -> np.ndarray:
+        """AND of per-landmark disks for every server of a fleet at once.
+
+        ``rows`` is ``(n_servers, k)`` bank row indices; ``radii_families``
+        is ``(m, n_servers, k)`` float32 (``(n_servers, k)`` is promoted to
+        one family).  Result ``[f, s]`` is the AND over slot ``i`` of
+        ``distance(rows[s, i]) <= radii_families[f, s, i]`` — exactly what
+        :meth:`disk_intersections` returns for server ``s`` alone.  With
+        ``packed=True`` the result is ``(m, n_servers, n_words)`` uint64
+        bitset words (the only layout that scales to 1k+ fleets; the
+        boolean form exists for the cross-engine identity tests).
+        """
+        rows = self._validate_fleet_rows(rows)
+        radii = np.asarray(radii_families, dtype=np.float32)
+        if radii.ndim == 2:
+            radii = radii[None]
+        if radii.ndim != 3 or radii.shape[1:] != rows.shape:
+            raise ValueError("radii families and fleet rows disagree in shape")
+        if (radii < 0).any():
+            raise ValueError("negative disk radius")
+        n_servers, k = rows.shape
+        m = radii.shape[0]
+        n_cells = self.grid.n_cells
+        if packed:
+            out = np.zeros((m, n_servers, n_words_for(n_cells)),
+                           dtype=np.uint64)
+        else:
+            out = np.zeros((m, n_servers, n_cells), dtype=bool)
+        if n_servers == 0 or k == 0:
+            return out
+        side = self._block_side
+        for start in range(0, n_servers, self.FLEET_CHUNK):
+            stop = min(start + self.FLEET_CHUNK, n_servers)
+            span = stop - start
+            chunk_rows = rows[start:stop]
+            scratch = np.empty((span, n_cells), dtype=bool)
+            if not side:
+                # Grid indivisible into blocks: full-width evaluation,
+                # slot by slot, vectorised over the server chunk.
+                fields = self._fields
+                for f in range(m):
+                    scratch[:] = True
+                    for i in range(k):
+                        scratch &= (fields[chunk_rows[:, i]]
+                                    <= radii[f, start:stop, i, None])
+                    out[f, start:stop] = pack_bits(scratch) if packed \
+                        else scratch
+                continue
+            n_blat = self.grid.n_lat // side
+            n_blon = self.grid.n_lon // side
+            for f in range(m):
+                # Slot-major accumulation keeps the working set at one
+                # (span, n_blocks) plane per operand instead of gathering
+                # a (span, k, n_blocks) cube — ANDs commute, so the
+                # verdicts are bit-identical either way.
+                inside = np.ones((span, self._n_blocks), dtype=bool)
+                maybe = np.ones((span, self._n_blocks), dtype=bool)
+                for i in range(k):
+                    slot_radii = radii[f, start:stop, i, None]  # (span, 1)
+                    inside &= self._block_max[chunk_rows[:, i]] <= slot_radii
+                    maybe &= self._block_min[chunk_rows[:, i]] <= slot_radii
+                scratch.reshape(span, n_blat, side, n_blon, side)[:] = \
+                    inside.reshape(span, n_blat, 1, n_blon, 1)
+                # Edge blocks, refined exactly — vectorised over every
+                # (server, block) pair at once.  Only *uncertain* disks
+                # are gathered: a slot with ``block_max <= r`` passes
+                # every cell of the block (so ANDing it cannot change a
+                # bit), and no slot has ``r < block_min`` or the block
+                # would not be "maybe" — the AND over uncertain slots is
+                # therefore bit-identical to the AND over all k slots.
+                pair_server, pair_block = np.nonzero(maybe & ~inside)
+                for p0 in range(0, pair_server.size, self._EDGE_PAIR_CHUNK):
+                    p1 = min(p0 + self._EDGE_PAIR_CHUNK, pair_server.size)
+                    srv = pair_server[p0:p1]
+                    blocks = pair_block[p0:p1]
+                    cells = self._cells_of_blocks(blocks).reshape(
+                        p1 - p0, -1)
+                    unc = np.empty((srv.size, k), dtype=bool)
+                    for i in range(k):
+                        unc[:, i] = (self._block_max[chunk_rows[srv, i],
+                                                     blocks]
+                                     > radii[f, start + srv, i])
+                    pair_idx, slot_idx = np.nonzero(unc)  # grouped by pair
+                    values = self._fields[
+                        chunk_rows[srv[pair_idx], slot_idx][:, None],
+                        cells[pair_idx]]
+                    ok = values <= radii[f, start + srv[pair_idx],
+                                         slot_idx][:, None]
+                    counts = unc.sum(axis=1)  # >= 1: the block is ~inside
+                    starts = np.concatenate(
+                        ([0], np.cumsum(counts[:-1])))
+                    verdict = np.logical_and.reduceat(ok, starts, axis=0)
+                    scratch[srv[:, None], cells] = verdict
+                out[f, start:stop] = pack_bits(scratch) if packed else scratch
+        return out
+
+    def ring_votes_fleet(self, rows: np.ndarray, inner: np.ndarray,
+                         outer: np.ndarray) -> np.ndarray:
+        """Per-cell annulus vote counts for every server of a fleet.
+
+        ``rows``/``inner``/``outer`` are padded ``(n_servers, k)``
+        matrices; result row ``s`` equals :meth:`ring_votes` for server
+        ``s``'s panel (integer addition is exact, so the slot-major
+        accumulation order cannot change a count).  Padding slots use
+        ``+inf`` rings, which cover no cell and add no vote.
+        """
+        rows = self._validate_fleet_rows(rows)
+        inner = np.asarray(inner, dtype=np.float32)
+        outer = np.asarray(outer, dtype=np.float32)
+        if inner.shape != rows.shape or outer.shape != rows.shape:
+            raise ValueError("ring radii and fleet rows disagree in shape")
+        finite_inner = np.where(np.isfinite(inner), inner, 0.0)
+        if (finite_inner < 0).any() or (outer < inner).any():
+            raise ValueError("bad ring radii")
+        n_servers, k = rows.shape
+        votes = np.zeros((n_servers, self.grid.n_cells), dtype=np.int32)
+        if n_servers == 0 or k == 0:
+            return votes
+        for start in range(0, n_servers, self.FLEET_CHUNK):
+            stop = min(start + self.FLEET_CHUNK, n_servers)
+            covered = np.empty((stop - start, self.grid.n_cells), dtype=bool)
+            for i in range(k):
+                fields = self._fields[rows[start:stop, i]]
+                np.greater_equal(fields, inner[start:stop, i, None],
+                                 out=covered)
+                covered &= fields <= outer[start:stop, i, None]
+                votes[start:stop] += covered
+        return votes
 
     def ring_masks(self, lats: Sequence[float], lons: Sequence[float],
                    inner: Sequence[float], outer: Sequence[float],

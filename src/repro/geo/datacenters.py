@@ -16,6 +16,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
+import numpy as np
+
 from ..geodesy.greatcircle import haversine_km, validate_latlon
 from .countries import CountryRegistry
 from .region import Region
@@ -39,6 +41,12 @@ class DataCenterRegistry:
 
     def __init__(self, datacenters: Sequence[DataCenter]):
         self._datacenters = list(datacenters)
+        # Cell index of every data centre, resolved once per grid: the
+        # disambiguation pass probes the same ~hundred points against
+        # every uncertain region, so the per-point cell lookups are
+        # hoisted out of the per-region loop.  Keyed by grid identity,
+        # holding the grid so a recycled id() can never alias.
+        self._cell_cache: dict = {}
 
     @classmethod
     def from_registry(cls, registry: Optional[CountryRegistry] = None) -> "DataCenterRegistry":
@@ -73,9 +81,26 @@ class DataCenterRegistry:
     def in_country(self, iso2: str) -> List[DataCenter]:
         return [dc for dc in self._datacenters if dc.country == iso2]
 
+    def _cells_for(self, grid) -> "np.ndarray":
+        cached = self._cell_cache.get(id(grid))
+        if cached is None or cached[0] is not grid:
+            cells = np.array([grid.cell_index(dc.lat, dc.lon)
+                              for dc in self._datacenters], dtype=np.intp)
+            cached = (grid, cells)
+            self._cell_cache[id(grid)] = cached
+        return cached[1]
+
     def in_region(self, region: Region) -> List[DataCenter]:
-        """All data centres whose location falls inside the region."""
-        return [dc for dc in self._datacenters if region.contains(dc.lat, dc.lon)]
+        """All data centres whose location falls inside the region.
+
+        One vectorised bit test over the cached cell indices — the same
+        per-point test :meth:`Region.contains` performs, in the same
+        registry order.
+        """
+        if not self._datacenters:
+            return []
+        inside = region.contains_cells(self._cells_for(region.grid))
+        return [dc for at, dc in enumerate(self._datacenters) if inside[at]]
 
     def countries_with_dc_in_region(self, region: Region) -> List[str]:
         """Distinct country codes of data centres inside the region."""

@@ -428,6 +428,21 @@ class Region:
         byte = self._words.view(np.uint8)[index >> 3]
         return bool((int(byte) >> (7 - (index & 7))) & 1)
 
+    def contains_cells(self, indices: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`contains` over precomputed cell indices.
+
+        Same bit test per cell, so ``contains_cells(cells)[i] ==
+        contains(*grid.cell_center(cells[i]))`` for cell-centre points;
+        callers resolve points to indices once and reuse them across
+        many regions (the data-centre disambiguation pattern).
+        """
+        indices = np.asarray(indices, dtype=np.intp)
+        if self._mask is not None:
+            return self._mask[indices]
+        view = self._words.view(np.uint8)
+        shifts = (7 - (indices & 7)).astype(np.uint8)
+        return (view[indices >> 3] >> shifts) & 1 != 0
+
     def centroid(self) -> Optional[Tuple[float, float]]:
         """Area-weighted centroid, or None for an empty region.
 

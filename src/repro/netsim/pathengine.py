@@ -324,8 +324,31 @@ class PathEngine:
             self._index_of(router)          # validate before any I/O
         if not sources:
             return False
+        if self._warmed_already(sources):
+            # Every requested row is cached *and* reachable through the
+            # fancy-index gather: repeated warming (one audit per figure,
+            # all over the same fleet) is a true no-op instead of a full
+            # multi-source Dijkstra per call.
+            return False
         if self.cache_dir is None:
-            self._adopt(sources, self._compute_rows(sources))
+            missing = [s for s in sources if s not in self._rows]
+            if len(missing) < len(sources):
+                # Partial warm: batch-compute only the missing trees and
+                # stitch the cached rows in.  Rows are pure functions of
+                # the topology, so reusing them is bit-identical to
+                # recomputing the whole matrix.
+                matrix = np.empty((len(sources), len(self._nodes)),
+                                  dtype=np.float64)
+                if missing:
+                    fresh = self._compute_rows(missing)
+                fresh_of = {s: i for i, s in enumerate(missing)}
+                for offset, source in enumerate(sources):
+                    at = fresh_of.get(source)
+                    matrix[offset] = (self._rows[source] if at is None
+                                      else fresh[at])
+            else:
+                matrix = self._compute_rows(sources)
+            self._adopt(sources, matrix)
             return False
         path = self._warm_cache_path(sources)
         if os.path.exists(path):
@@ -350,6 +373,19 @@ class PathEngine:
                 os.unlink(tmp_path)
         self._adopt(sources, matrix)
         return False
+
+    def _warmed_already(self, sources: List[RouterId]) -> bool:
+        """All sources cached and covered by the fancy-index gather?"""
+        if self._warm_pos is None:
+            return False
+        if len(sources) > len(self._rows):
+            return False
+        for source in sources:
+            if source not in self._rows:
+                return False
+            if self._warm_pos[self._index[source]] < 0:
+                return False
+        return True
 
     def _nx_reference_row(self, source: RouterId) -> np.ndarray:
         """One source's distances by an independent networkx Dijkstra.

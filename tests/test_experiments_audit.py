@@ -120,3 +120,52 @@ class TestRunAudit:
         false_rate = (sum(1 for r in tier3_records if r.assessment.is_false)
                       / len(tier3_records))
         assert false_rate > 0.5
+
+
+class TestWarmSelectionAndEta:
+    def test_truncated_audit_warms_only_audited_servers(self):
+        """A quick truncated run must not pay a full-fleet Dijkstra for
+        servers it never measures (the warm-selection regression)."""
+        # A seed no other test uses: default_scenario memoises, and the
+        # shared instance is already warm from the session audit.
+        fresh = default_scenario(seed=97)
+        engine = fresh.network._engine
+        if engine is None:
+            pytest.skip("networkx oracle warms lazily")
+        run_audit(fresh, max_servers=4, seed=0)
+        audited = fresh.all_servers()[:4]
+        landmark_routers = {lm.host.router
+                            for lm in fresh.atlas.all_landmarks()}
+        needed = ({fresh.client.router}
+                  | landmark_routers
+                  | {server.host.router for server in audited})
+        unaudited = [server.host.router for server in fresh.all_servers()[4:]
+                     if server.host.router not in needed]
+        assert unaudited, "fleet too small to observe truncation"
+        warmed = set(engine._rows)
+        assert needed <= warmed
+        assert not (warmed & set(unaudited))
+
+    def test_repeated_audit_does_not_recompute_warm_rows(self, scenario):
+        """Warming the same fleet twice must be a no-op, not a second
+        multi-source Dijkstra (the warm 60-server bench regression)."""
+        engine = scenario.network._engine
+        if engine is None:
+            pytest.skip("networkx oracle warms lazily")
+        run_audit(scenario, max_servers=10, seed=0)
+        calls = []
+        original = engine._compute_rows
+        engine._compute_rows = lambda sources: (
+            calls.append(list(sources)) or original(sources))
+        try:
+            run_audit(scenario, max_servers=10, seed=0)
+        finally:
+            engine._compute_rows = original
+        assert calls == []
+
+    def test_eta_independent_of_truncation(self, scenario):
+        """η is a campaign-level calibration fitted on the whole fleet:
+        truncated quick runs must report the exact η of a full audit."""
+        short = run_audit(scenario, max_servers=3, seed=0)
+        longer = run_audit(scenario, max_servers=30, seed=0)
+        assert short.eta == longer.eta

@@ -161,6 +161,56 @@ class TestR005PayloadFields:
         assert rules_hit(_BAD_PAYLOAD, "core/foo.py") == []
 
 
+# -- R007: scalar bank kernels inside loops on fleet hot paths ----------------
+
+class TestR007PerPanelBankLoop:
+    def test_loop_over_scalar_kernel_flagged(self):
+        source = ("def sweep(bank, panels):\n"
+                  "    out = []\n"
+                  "    for lats, lons, radii in panels:\n"
+                  "        out.append(bank.disk_intersections(\n"
+                  "            lats, lons, radii, packed=True))\n"
+                  "    return out\n")
+        assert rules_hit(source, "core/cbgpp.py") == ["R007"]
+
+    def test_comprehension_over_ring_votes_flagged(self):
+        source = ("def sweep(bank, panels):\n"
+                  "    return [bank.ring_votes(p.lats, p.lons, p.inner,\n"
+                  "                            p.outer) for p in panels]\n")
+        assert rules_hit(source, "core/octant.py") == ["R007"]
+
+    def test_while_loop_field_block_flagged(self):
+        source = ("def drain(bank, queue):\n"
+                  "    while queue:\n"
+                  "        panel = queue.pop()\n"
+                  "        fields = bank.field_block(panel.lats, panel.lons)\n")
+        assert rules_hit(source, "experiments/audit.py") == ["R007"]
+
+    def test_fleet_front_end_in_loop_clean(self):
+        source = ("def sweep(bank, batches):\n"
+                  "    out = []\n"
+                  "    for rows, radii in batches:\n"
+                  "        out.append(bank.disk_intersections_fleet(\n"
+                  "            rows, radii, packed=True))\n"
+                  "    return out\n")
+        assert rules_hit(source, "core/cbgpp.py") == []
+
+    def test_single_scalar_call_outside_loop_clean(self):
+        source = ("def one(bank, lats, lons, radii):\n"
+                  "    return bank.disk_intersections(lats, lons, radii)\n")
+        assert rules_hit(source, "core/cbgpp.py") == []
+
+    def test_bank_module_itself_exempt(self):
+        source = ("def ring_masks(self, panels):\n"
+                  "    return [self.ring_intersection(p) for p in panels]\n")
+        assert rules_hit(source, "geo/bank.py") == []
+
+    def test_non_hot_modules_exempt(self):
+        source = ("def figure(bank, panels):\n"
+                  "    return [bank.ring_votes(*p) for p in panels]\n")
+        assert rules_hit(source, "experiments/figures.py") == []
+
+
 # -- R006: unordered reductions -----------------------------------------------
 
 class TestR006UnorderedReduction:
@@ -247,7 +297,8 @@ class TestEngine:
         json.dumps(report)  # must be serialisable as-is
 
     def test_rule_ids_catalogue(self):
-        assert RULE_IDS == ("R001", "R002", "R003", "R004", "R005", "R006")
+        assert RULE_IDS == ("R001", "R002", "R003", "R004", "R005", "R006",
+                            "R007")
 
 
 class TestCli:

@@ -35,6 +35,14 @@ R006      no ``sum()`` (or ``np.sum``) over ``set()`` literals/calls or
           ``dict.values()``/``dict.keys()``: float accumulation order
           over an unordered container is an ordering-dependent
           summation hazard.
+R007      no scalar bank kernel (``disk_intersections``, ``ring_votes``,
+          ``ring_masks``, ``field_block``, ``ring_intersection``) inside
+          a Python loop or comprehension in the fleet hot-path modules
+          (``core/cbgpp.py``, ``core/octant.py``,
+          ``core/multilateration.py``, ``experiments/audit.py``): a
+          per-server/per-landmark loop over bank fields is exactly the
+          pattern the fleet front ends (``disk_intersections_fleet`` /
+          ``ring_votes_fleet``) exist to replace.
 ========  ==============================================================
 """
 
@@ -430,6 +438,63 @@ class UnorderedReduction(Rule):
         return findings
 
 
+# -- R007: scalar bank kernels inside Python loops on fleet hot paths ---------
+
+#: Modules on the fleet audit's hot path that must batch bank work
+#: through the ``*_fleet`` front ends rather than loop per panel.
+#: ``geo/bank.py`` itself is exempt — it is where both kernel tiers live.
+_FLEET_HOT_MODULES = frozenset({
+    "core/cbgpp.py", "core/octant.py",
+    "core/multilateration.py", "experiments/audit.py",
+})
+
+#: The bank's scalar (one panel at a time) front ends.  The ``*_fleet``
+#: variants have distinct names and are the sanctioned replacements.
+_SCALAR_BANK_KERNELS = frozenset({
+    "disk_intersections", "ring_votes", "ring_masks",
+    "field_block", "ring_intersection",
+})
+
+
+class PerPanelBankLoop(Rule):
+    id = "R007"
+    title = "scalar bank kernel inside a Python loop on a fleet hot path"
+
+    def applies_to(self, scope_path: str) -> bool:
+        return scope_path in _FLEET_HOT_MODULES
+
+    def check(self, tree: ast.Module, names: Dict[str, str],
+              scope_path: str) -> List[Finding]:
+        findings: Set[Finding] = set()
+
+        def flag_calls(node: ast.AST) -> None:
+            for sub in ast.walk(node):
+                if (isinstance(sub, ast.Call)
+                        and isinstance(sub.func, ast.Attribute)
+                        and sub.func.attr in _SCALAR_BANK_KERNELS):
+                    findings.add((
+                        sub.lineno, sub.col_offset,
+                        f"'.{sub.func.attr}(...)' inside a Python loop "
+                        "evaluates the bank one panel at a time; batch "
+                        "the loop through the fleet front ends "
+                        "(disk_intersections_fleet / ring_votes_fleet)"))
+
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.For, ast.AsyncFor, ast.While)):
+                for statement in node.body + node.orelse:
+                    flag_calls(statement)
+            elif isinstance(node, (ast.ListComp, ast.SetComp,
+                                   ast.GeneratorExp)):
+                flag_calls(node.elt)
+                for generator in node.generators:
+                    for condition in generator.ifs:
+                        flag_calls(condition)
+            elif isinstance(node, ast.DictComp):
+                flag_calls(node.key)
+                flag_calls(node.value)
+        return sorted(findings)
+
+
 ALL_RULES: Tuple[Rule, ...] = (
     UnseededRandomness(),
     WallClock(),
@@ -437,6 +502,7 @@ ALL_RULES: Tuple[Rule, ...] = (
     HotPathBoolView(),
     PayloadFieldTypes(),
     UnorderedReduction(),
+    PerPanelBankLoop(),
 )
 
 RULE_IDS: Tuple[str, ...] = tuple(rule.id for rule in ALL_RULES)
