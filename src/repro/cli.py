@@ -65,6 +65,70 @@ def _cmd_audit(args) -> int:
     return 0
 
 
+def _cmd_campaign(args) -> int:
+    from . import config
+    from .experiments.campaign import (
+        DeploymentPlan,
+        merge_campaign,
+        run_campaign,
+        run_campaign_shard,
+    )
+    from .experiments.scenario import paper_scale_scenario
+    from .report import campaign_table
+    if args.shard_index is not None and args.merge:
+        print("--shard-index and --merge are mutually exclusive",
+              file=sys.stderr)
+        return 2
+    journal_dir = args.journal_dir or config.env_value("REPRO_CAMPAIGN_DIR")
+    if (args.shard_index is not None or args.merge) and not journal_dir:
+        print("--shard-index/--merge need --journal-dir (or "
+              "REPRO_CAMPAIGN_DIR): the journals must outlive this "
+              "invocation", file=sys.stderr)
+        return 2
+    shards = args.shards
+    if shards is None:
+        shards = int(config.env_value("REPRO_CAMPAIGN_SHARDS"))
+    plan = (DeploymentPlan.from_file(args.plan) if args.plan
+            else DeploymentPlan())
+    scenario = (paper_scale_scenario(seed=args.seed) if args.paper_scale
+                else _scenario(args))
+    if args.shard_index is not None:
+        summary = run_campaign_shard(
+            scenario, plan, shards=shards, shard_index=args.shard_index,
+            journal_dir=str(journal_dir), seed=args.seed,
+            workers=args.workers, fault_profile=args.fault_profile,
+            resume=args.resume)
+        state = "skipped (already finalized)" if summary.skipped else "done"
+        print(f"shard {summary.shard_index + 1}/{summary.shards}: "
+              f"{summary.n_servers} servers {state} -> {summary.journal_path}")
+        print(f"  verdicts (pre-disambiguation): {summary.verdicts} "
+              f"({summary.degraded} degraded)")
+        return 0
+    if args.merge:
+        report = merge_campaign(scenario, plan, shards=shards,
+                                journal_dir=str(journal_dir),
+                                seed=args.seed,
+                                fault_profile=args.fault_profile)
+    else:
+        run = run_campaign(scenario, plan, shards=shards,
+                           workers=args.workers, seed=args.seed,
+                           fault_profile=args.fault_profile,
+                           journal_dir=(str(journal_dir) if journal_dir
+                                        else None),
+                           resume=args.resume)
+        for summary in run.shards:
+            state = "skipped" if summary.skipped else "done"
+            print(f"shard {summary.shard_index + 1}/{summary.shards}: "
+                  f"{summary.n_servers} servers {state}")
+        report = run.report
+    print(campaign_table(report))
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            handle.write(report.to_json() + "\n")
+        print(f"report written to {args.report}")
+    return 0
+
+
 def _cmd_locate(args) -> int:
     from .core import CBG, CBGPlusPlus, QuasiOctant, RttObservation, Spotter
     from .netsim import CliTool
@@ -208,6 +272,38 @@ def build_parser() -> argparse.ArgumentParser:
     audit.add_argument("--resume", action="store_true",
                        help="resume from --checkpoint instead of starting over")
     audit.set_defaults(func=_cmd_audit)
+
+    campaign = commands.add_parser(
+        "campaign",
+        help="sharded streaming fleet audit (paper scale in bounded memory)")
+    campaign.add_argument("--plan", default=None, metavar="PATH",
+                          help="JSON DeploymentPlan (default: whole fleet)")
+    campaign.add_argument("--paper-scale", action="store_true",
+                          help="audit the full paper-scale (~2,269+) fleet")
+    campaign.add_argument("--shards", type=int, default=None,
+                          help="shard count (default: REPRO_CAMPAIGN_SHARDS)")
+    campaign.add_argument("--shard-index", type=int, default=None,
+                          metavar="I",
+                          help="run only shard I (needs --journal-dir; "
+                               "merge later with --merge)")
+    campaign.add_argument("--merge", action="store_true",
+                          help="merge finalized shard journals into the "
+                               "campaign report without auditing")
+    campaign.add_argument("--journal-dir", default=None, metavar="DIR",
+                          help="directory for shard + merged journals "
+                               "(default: REPRO_CAMPAIGN_DIR or a "
+                               "temporary directory)")
+    campaign.add_argument("--workers", type=int, default=1,
+                          help="audit processes per shard")
+    campaign.add_argument("--fault-profile", default=None,
+                          choices=sorted(FAULT_PROFILES),
+                          help="inject deterministic network faults")
+    campaign.add_argument("--resume", action="store_true",
+                          help="resume partial shard journals; skip "
+                               "finalized ones")
+    campaign.add_argument("--report", default=None, metavar="PATH",
+                          help="also write the merged report JSON to PATH")
+    campaign.set_defaults(func=_cmd_campaign)
 
     locate = commands.add_parser("locate", help="geolocate a coordinate")
     locate.add_argument("lat", type=float)

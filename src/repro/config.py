@@ -31,8 +31,9 @@ from dataclasses import dataclass
 from typing import Dict, Optional, Tuple, Union
 
 #: Values a knob read can produce: choice/path knobs yield strings (path
-#: knobs ``None`` when unset), flag knobs yield booleans.
-KnobValue = Union[str, bool, None]
+#: knobs ``None`` when unset), flag knobs yield booleans, int knobs yield
+#: non-negative integers.
+KnobValue = Union[str, bool, int, None]
 
 _TRUE_WORDS = ("1", "true", "yes", "on")
 _FALSE_WORDS = ("0", "false", "no", "off")
@@ -47,8 +48,8 @@ class Knob:
     """Declaration of one ``REPRO_*`` environment knob.
 
     ``kind`` is one of ``"choice"`` (value must be one of ``choices``),
-    ``"flag"`` (boolean words), or ``"path"`` (any non-empty string,
-    ``None`` when unset).
+    ``"flag"`` (boolean words), ``"path"`` (any non-empty string,
+    ``None`` when unset), or ``"int"`` (a non-negative integer).
     """
 
     name: str
@@ -79,6 +80,18 @@ class Knob:
                 f"got {raw!r}")
         if self.kind == "path":
             return raw
+        if self.kind == "int":
+            try:
+                value = int(raw, 10)
+            except ValueError:
+                raise KnobError(
+                    f"{self.name} must be a non-negative integer, "
+                    f"got {raw!r}") from None
+            if value < 0:
+                raise KnobError(
+                    f"{self.name} must be a non-negative integer, "
+                    f"got {raw!r}")
+            return value
         raise AssertionError(f"unknown knob kind {self.kind!r}")
 
     def allowed_text(self) -> str:
@@ -88,6 +101,8 @@ class Knob:
             return " / ".join(f"`{choice}`" for choice in self.choices)
         if self.kind == "flag":
             return "`0` / `1`"
+        if self.kind == "int":
+            return "integer >= 0"
         return "any path"
 
     def default_text(self) -> str:
@@ -144,6 +159,25 @@ AUDIT_ENGINE = _register(Knob(
     doc="Fleet-audit multilateration engine: one vectorised NumPy pass "
         "over all servers at once (the native engine) or the historical "
         "per-server Python pipeline; both emit byte-identical records.",
+))
+
+CAMPAIGN_SHARDS = _register(Knob(
+    name="REPRO_CAMPAIGN_SHARDS",
+    kind="int",
+    default=1,
+    doc="Default shard count for campaign audits (`repro campaign` and "
+        "run_campaign when no shard count is given): each shard journals "
+        "to its own checkpoint and the merge step folds the journals "
+        "into one report, byte-identical at any shard count.",
+))
+
+CAMPAIGN_DIR = _register(Knob(
+    name="REPRO_CAMPAIGN_DIR",
+    kind="path",
+    default=None,
+    doc="Directory for campaign shard journals and the merged campaign "
+        "journal; unset uses a per-run temporary directory (resume "
+        "across invocations then needs an explicit --journal-dir).",
 ))
 
 SANITIZE = _register(Knob(

@@ -19,7 +19,12 @@ from . import (
     ext_adversary,
     ext_testbench,
 )
-from .audit import AuditResult, cached_audit, run_audit
+from .audit import (AuditResult, AuditSink, RecordTally, cached_audit,
+                    run_audit)
+from .campaign import (CampaignAggregator, CampaignReport, CampaignRun,
+                       DeploymentPlan, FleetTemplate, ShardSummary,
+                       merge_campaign, run_campaign, run_campaign_shard,
+                       single_shot_report)
 from .checkpoint import AuditCheckpoint, CheckpointMismatch
 from .scenario import (
     Scenario,
@@ -31,11 +36,20 @@ from .scenario import (
 __all__ = [
     "AuditCheckpoint",
     "AuditResult",
+    "AuditSink",
+    "CampaignAggregator",
+    "CampaignReport",
+    "CampaignRun",
     "CheckpointMismatch",
+    "DeploymentPlan",
+    "FleetTemplate",
+    "RecordTally",
     "Scenario",
+    "ShardSummary",
     "build_scenario",
     "cached_audit",
     "default_scenario",
+    "merge_campaign",
     "fig02_calibration",
     "fig04_tools",
     "fig09_algorithms",
@@ -53,4 +67,7 @@ __all__ = [
     "ext_testbench",
     "paper_scale_scenario",
     "run_audit",
+    "run_campaign",
+    "run_campaign_shard",
+    "single_shot_report",
 ]

@@ -13,7 +13,8 @@ import multiprocessing
 from collections import OrderedDict, namedtuple
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import (Callable, Dict, Iterable, List, Optional, Protocol,
+                    Sequence)
 
 import numpy as np
 
@@ -41,6 +42,87 @@ from .checkpoint import AuditCheckpoint, ServerPayload
 from .scenario import Scenario
 
 
+class AuditSink(Protocol):
+    """A streaming consumer of completed audit records.
+
+    ``run_audit(sink=...)`` hands each record to :meth:`accept` the
+    moment its payload exists — journal-resume records first (ascending
+    index), then live records in *completion* order — and never holds a
+    reference afterwards, so the record's packed region is garbage the
+    instant the sink is done with it.  Implementations must therefore
+    compute only commutative (order-independent) aggregates, which is
+    also exactly what makes sharded campaign reports independent of the
+    shard count.
+    """
+
+    def accept(self, record: AuditRecord) -> None:
+        """Consume one completed record; must not retain its region."""
+
+
+class RecordTally:
+    """Single-pass commutative aggregates over audit records.
+
+    One ``add`` per record maintains every integer tally the audit
+    report needs — verdicts (initial and current), Figure 17 categories,
+    degraded counts, and the ground-truth soundness counters — without
+    retaining the record.  Shared by :class:`AuditResult` (which feeds
+    it a materialized list) and the streaming campaign sinks (which feed
+    it record by record), so both paths count by identical rules.
+    """
+
+    def __init__(self) -> None:
+        self.n_records = 0
+        self.degraded = 0
+        self.verdicts: Dict[str, int] = {}
+        self.verdicts_initial: Dict[str, int] = {}
+        self.categories: Dict[str, int] = {}
+        self.false_verdicts = 0
+        self.false_verdicts_wrong = 0
+        self.credible_verdicts = 0
+        self.credible_verdicts_right = 0
+
+    def add(self, record: AuditRecord) -> None:
+        self.n_records += 1
+        if record.degraded:
+            self.degraded += 1
+        verdict = record.assessment.verdict
+        initial = record.initial_verdict
+        assert verdict is not None and initial is not None
+        self.verdicts[verdict.value] = self.verdicts.get(verdict.value, 0) + 1
+        self.verdicts_initial[initial.value] = \
+            self.verdicts_initial.get(initial.value, 0) + 1
+        category = record.assessment.category()
+        self.categories[category] = self.categories.get(category, 0) + 1
+        if record.assessment.is_false:
+            self.false_verdicts += 1
+            if record.server.honest:
+                self.false_verdicts_wrong += 1
+        if record.assessment.is_credible:
+            self.credible_verdicts += 1
+            if record.server.honest:
+                self.credible_verdicts_right += 1
+
+    def extend(self, records: Iterable[AuditRecord]) -> "RecordTally":
+        for record in records:
+            self.add(record)
+        return self
+
+    def ground_truth_accuracy(self) -> Dict[str, float]:
+        """The audit soundness summary (see AuditResult for semantics)."""
+        return {
+            "false_verdicts": self.false_verdicts,
+            "false_verdicts_wrong": self.false_verdicts_wrong,
+            "credible_verdicts": self.credible_verdicts,
+            "credible_verdicts_right": self.credible_verdicts_right,
+            "false_precision": (
+                1.0 - self.false_verdicts_wrong / self.false_verdicts
+                if self.false_verdicts else 1.0),
+            "credible_precision": (
+                self.credible_verdicts_right / self.credible_verdicts
+                if self.credible_verdicts else 1.0),
+        }
+
+
 @dataclass
 class AuditResult:
     """Everything one audit run produced."""
@@ -50,6 +132,8 @@ class AuditResult:
     reclassified: Dict[str, int] = field(default_factory=dict)
     #: Name of the fault profile the audit ran under, None for fault-free.
     fault_profile: Optional[str] = None
+    #: Records handed to a streaming sink instead of ``records``.
+    n_streamed: int = 0
 
     @property
     def degraded_count(self) -> int:
@@ -60,21 +144,12 @@ class AuditResult:
 
     def verdict_counts(self, initial: bool = False) -> Dict[str, int]:
         """Counts per verdict; ``initial=True`` gives pre-disambiguation."""
-        counts: Dict[str, int] = {}
-        for record in self.records:
-            verdict = (record.initial_verdict if initial
-                       else record.assessment.verdict)
-            assert verdict is not None
-            counts[verdict.value] = counts.get(verdict.value, 0) + 1
-        return counts
+        tally = RecordTally().extend(self.records)
+        return tally.verdicts_initial if initial else tally.verdicts
 
     def category_counts(self) -> Dict[str, int]:
         """Counts per Figure 17 bar category (post-disambiguation)."""
-        counts: Dict[str, int] = {}
-        for record in self.records:
-            category = record.assessment.category()
-            counts[category] = counts.get(category, 0) + 1
-        return counts
+        return RecordTally().extend(self.records).categories
 
     def by_provider(self) -> Dict[str, List[AuditRecord]]:
         grouped: Dict[str, List[AuditRecord]] = {}
@@ -108,20 +183,7 @@ class AuditResult:
         Soundness is measured the way the paper wants it: a FALSE verdict
         against an honest server is the error that must not happen.
         """
-        false_verdicts = [r for r in self.records if r.assessment.is_false]
-        credible_verdicts = [r for r in self.records if r.assessment.is_credible]
-        wrongly_accused = sum(1 for r in false_verdicts if r.server.honest)
-        rightly_confirmed = sum(1 for r in credible_verdicts if r.server.honest)
-        return {
-            "false_verdicts": len(false_verdicts),
-            "false_verdicts_wrong": wrongly_accused,
-            "credible_verdicts": len(credible_verdicts),
-            "credible_verdicts_right": rightly_confirmed,
-            "false_precision": (1.0 - wrongly_accused / len(false_verdicts)
-                                if false_verdicts else 1.0),
-            "credible_precision": (rightly_confirmed / len(credible_verdicts)
-                                   if credible_verdicts else 1.0),
-        }
+        return RecordTally().extend(self.records).ground_truth_accuracy()
 
 
 #: Shared state for forked audit workers.  Set immediately before the
@@ -300,41 +362,39 @@ _CHECKPOINT_CHUNK = 4
 def _parallel_payloads(scenario: Scenario, driver: TwoPhaseDriver,
                        servers: List[ProxyServer], eta: EtaEstimate,
                        seed: int, workers: int, indices: List[int],
-                       on_payload: Optional[Callable[[ServerPayload], None]],
-                       engine: str) -> List[ServerPayload]:
+                       deliver: Callable[[ServerPayload], None],
+                       engine: str, fine_chunks: bool) -> None:
     """Fan the per-server audits over forked worker processes.
 
     Fork (not spawn) is required: the children inherit the scenario —
     topology, shortest-path caches, the grid's distance bank — as
     copy-on-write pages instead of re-pickling hundreds of megabytes.
     Each worker ships back only a packed region mask plus the small
-    assessment/observation records.  Without a checkpoint sink, work is
-    split into one round-robin chunk per worker (minimal IPC); with one,
-    smaller chunks are journalled as they complete so a kill loses at
-    most a chunk of progress.
+    assessment/observation records, each of which goes straight to
+    ``deliver`` in completion order.  With ``fine_chunks`` (a checkpoint
+    or streaming sink downstream) work is split into small chunks so a
+    kill loses at most a chunk and memory holds at most a chunk per
+    in-flight future; otherwise one round-robin chunk per worker
+    minimises IPC.
     """
     global _FORK_STATE
     context = multiprocessing.get_context("fork")
-    if on_payload is None:
-        chunks = [indices[worker::workers] for worker in range(workers)]
-    else:
+    if fine_chunks:
         chunks = [indices[at:at + _CHECKPOINT_CHUNK]
                   for at in range(0, len(indices), _CHECKPOINT_CHUNK)]
+    else:
+        chunks = [indices[worker::workers] for worker in range(workers)]
     chunks = [chunk for chunk in chunks if chunk]
     _FORK_STATE = (scenario, driver, servers, eta, seed, engine)
-    payloads: List[ServerPayload] = []
     try:
         with ProcessPoolExecutor(max_workers=workers,
                                  mp_context=context) as pool:
             futures = [pool.submit(_fork_worker, chunk) for chunk in chunks]
             for future in as_completed(futures):
                 for payload in future.result():
-                    payloads.append(payload)
-                    if on_payload is not None:
-                        on_payload(payload)
+                    deliver(payload)
     finally:
         _FORK_STATE = None
-    return payloads
 
 
 #: Campaign-level η estimates, keyed by (scenario token, seed, profile).
@@ -364,6 +424,28 @@ def _campaign_eta(scenario: Scenario, seed: int,
     return eta
 
 
+def campaign_eta(scenario: Scenario, seed: int = 0,
+                 fault_profile: Optional[object] = None) -> EtaEstimate:
+    """The η estimate a ``run_audit`` with these parameters would use.
+
+    Replays run_audit's exact fitting environment — profile resolution,
+    fault installation, outage schedule, and the seed-derived rng — so a
+    campaign merge running in a fresh process (no audit, no warm
+    ``_ETA_CACHE``) reports bit-identically to the shards that measured.
+    """
+    profile = resolve_fault_profile(
+        fault_profile if fault_profile is not None
+        else scenario.fault_profile)
+    injector: Optional[FaultInjector] = None
+    if profile is not None:
+        injector = FaultInjector(profile, seed=seed)
+        injector.schedule_outages(
+            [lm.host.host_id for lm in scenario.atlas.all_landmarks()])
+    rng = np.random.default_rng(seed)
+    with scenario.network.faults_installed(injector):
+        return _campaign_eta(scenario, seed, profile, rng)
+
+
 def run_audit(scenario: Scenario,
               algorithm: Optional[GeolocationAlgorithm] = None,
               servers: Optional[Sequence[ProxyServer]] = None,
@@ -373,7 +455,9 @@ def run_audit(scenario: Scenario,
               workers: int = 1,
               fault_profile: Optional[object] = None,
               checkpoint_path: Optional[str] = None,
-              resume: bool = False) -> AuditResult:
+              resume: bool = False,
+              sink: Optional[AuditSink] = None,
+              finalize_checkpoint: bool = False) -> AuditResult:
     """Audit a proxy fleet end to end.
 
     Parameters
@@ -402,10 +486,33 @@ def run_audit(scenario: Scenario,
         audit only the remainder; the merged records are bit-identical to
         an uninterrupted run.  Without ``resume`` an existing journal is
         overwritten.
+    sink:
+        Stream each completed record to this :class:`AuditSink` instead
+        of materialising a result list — journal-resumed records first in
+        ascending index order, then live records in completion order, so
+        the sink must aggregate commutatively.  Memory stays flat in
+        fleet size: each record (and its packed region) is dropped the
+        moment the sink returns.  The returned :class:`AuditResult` has
+        empty ``records`` and carries the count in ``n_streamed``.
+        Incompatible with ``disambiguate`` (which needs the whole fleet
+        at once); pass ``disambiguate=False`` and let the campaign
+        aggregator apply the streaming-equivalent refinement.
+    finalize_checkpoint:
+        After the last server is journalled, atomically rewrite the
+        journal finalized and index-sorted (see
+        :meth:`AuditCheckpoint.finalize`) — the form shard journals must
+        be in before a campaign merge.
     """
     # Resolve the engine up front so a typo'd knob fails before any
     # measurement, not in the middle of a forked worker.
     engine = str(config.env_value("REPRO_AUDIT_ENGINE"))
+    if sink is not None and disambiguate:
+        raise ValueError(
+            "a streaming audit cannot disambiguate: refinement needs the "
+            "whole fleet at once; pass disambiguate=False and refine in "
+            "the sink (see experiments.campaign.CampaignAggregator)")
+    if finalize_checkpoint and checkpoint_path is None:
+        raise ValueError("finalize_checkpoint requires checkpoint_path")
     rng = np.random.default_rng(seed)
     if algorithm is None:
         algorithm = CBGPlusPlus(scenario.calibrations, scenario.worldmap)
@@ -451,6 +558,35 @@ def run_audit(scenario: Scenario,
         + [lm.host for lm in scenario.atlas.all_landmarks()]
         + [server.host for server in servers])
 
+    # Every completed payload flows through one delivery point: journal
+    # first (durability before anything observes the record), then either
+    # straight into the streaming sink — after which the payload and its
+    # packed region are garbage — or into the legacy completion map.
+    n_streamed = 0
+
+    def deliver(payload: ServerPayload, journal: bool = True) -> None:
+        nonlocal n_streamed
+        if checkpoint is not None and journal:
+            checkpoint.append(payload)
+        if sink is not None:
+            sink.accept(_record_from_payload(servers, grid, payload))
+            n_streamed += 1
+        else:
+            completed[payload[0]] = payload
+
+    if sink is not None and completed:
+        # Resumed records reach the sink before any live ones, in
+        # ascending index order; the journal already holds them.
+        resumed = completed
+        completed = {}
+        for index in sorted(resumed):
+            deliver(resumed[index], journal=False)
+        pending = [index for index in range(len(servers))
+                   if index not in resumed]
+    else:
+        pending = [index for index in range(len(servers))
+                   if index not in completed]
+
     with scenario.network.faults_installed(injector):
         # η is a campaign-level calibration: it is always fitted over the
         # scenario's whole fleet (never the truncated slice), so the same
@@ -461,38 +597,46 @@ def run_audit(scenario: Scenario,
         selector = TwoPhaseSelector(scenario.atlas, seed=seed)
         driver = TwoPhaseDriver(selector, algorithm)
 
-        pending = [index for index in range(len(servers))
-                   if index not in completed]
-        on_payload = checkpoint.append if checkpoint is not None else None
+        fine_chunks = checkpoint is not None or sink is not None
         use_fork = (workers > 1 and len(pending) > 1
                     and "fork" in multiprocessing.get_all_start_methods())
         if use_fork:
-            payloads = _parallel_payloads(
+            _parallel_payloads(
                 scenario, driver, servers, eta, seed,
-                min(workers, len(pending)), pending, on_payload, engine)
+                min(workers, len(pending)), pending, deliver, engine,
+                fine_chunks)
         else:
             # Serial: one fleet batch over everything pending — unless a
-            # checkpoint sink wants journal granularity, in which case
-            # the batches mirror the parallel path's chunking so a kill
-            # loses at most a chunk either way.
-            if on_payload is None:
+            # checkpoint journal or streaming sink wants finer
+            # granularity, in which case the batches mirror the parallel
+            # path's chunking so a kill loses at most a chunk and memory
+            # holds at most a chunk of payloads either way.
+            if not fine_chunks:
                 batches = [pending] if pending else []
             else:
                 batches = [pending[at:at + _CHECKPOINT_CHUNK]
                            for at in range(0, len(pending),
                                            _CHECKPOINT_CHUNK)]
-            payloads = []
             for batch in batches:
                 for payload in _chunk_payloads(scenario, driver, servers,
                                                batch, eta, seed, engine):
-                    payloads.append(payload)
-                    if on_payload is not None:
-                        on_payload(payload)
+                    deliver(payload)
 
-    for payload in payloads:
-        completed[payload[0]] = payload
-    records = [_record_from_payload(servers, grid, completed[index])
-               for index in range(len(servers))]
+    if finalize_checkpoint and checkpoint is not None:
+        checkpoint.finalize()
+
+    if sink is not None:
+        return AuditResult(records=[], eta=eta,
+                           reclassified={"datacenter": 0, "metadata": 0,
+                                         "total": 0},
+                           fault_profile=profile.name if profile else None,
+                           n_streamed=n_streamed)
+
+    # The legacy API contract: callers get the full record list.  Bounded
+    # by design to figure-sized fleets; campaigns use the sink path above.
+    records = [  # reprolint: disable=R008 (legacy materialising API; campaign-scale callers pass a sink)
+        _record_from_payload(servers, grid, completed[index])
+        for index in range(len(servers))]
 
     reclassified: Dict[str, int] = {"datacenter": 0, "metadata": 0, "total": 0}
     if disambiguate:

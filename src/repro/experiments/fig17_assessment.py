@@ -15,7 +15,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..core.assessment import Verdict
-from .audit import AuditResult, cached_audit
+from .audit import AuditResult, RecordTally, cached_audit
 from .scenario import Scenario
 
 
@@ -71,36 +71,46 @@ def run(scenario: Scenario, max_servers: Optional[int] = None,
 
 
 def summarize(audit: AuditResult, scenario: Scenario) -> AssessmentFigure:
-    records = audit.records
+    # One pass over the records: per-country credible/false counts stand
+    # in for the record lists the old comprehensions retained, so the
+    # figure costs O(countries) memory however large the fleet is.
+    tally = RecordTally()
     alleged: Dict[str, int] = {}
     probable: Dict[str, int] = {}
-    for record in records:
-        alleged[record.server.claimed_country] = (
-            alleged.get(record.server.claimed_country, 0) + 1)
+    credible_by_country: Dict[str, int] = {}
+    false_by_country: Dict[str, int] = {}
+    for record in audit.records:
+        tally.add(record)
+        claimed = record.server.claimed_country
+        alleged[claimed] = alleged.get(claimed, 0) + 1
         guess = probable_country(record, scenario)
         if guess is not None:
             probable[guess] = probable.get(guess, 0) + 1
+        if record.assessment.is_credible:
+            credible_by_country[claimed] = credible_by_country.get(claimed, 0) + 1
+        if record.assessment.is_false:
+            false_by_country[claimed] = false_by_country.get(claimed, 0) + 1
     alleged_top = sorted(alleged.items(), key=lambda item: -item[1])[:10]
     probable_top = sorted(probable.items(), key=lambda item: -item[1])[:10]
     top10 = {code for code, _ in alleged_top}
-    credible = [r for r in records if r.assessment.is_credible]
-    false = [r for r in records if r.assessment.is_false]
-    top10_credible = (sum(1 for r in credible
-                          if r.server.claimed_country in top10) / len(credible)
-                      if credible else 0.0)
-    top10_false = (sum(1 for r in false
-                       if r.server.claimed_country in top10) / len(false)
-                   if false else 0.0)
+    n_credible = tally.credible_verdicts
+    n_false = tally.false_verdicts
+    top10_credible = (sum(count for code, count in credible_by_country.items()
+                          if code in top10) / n_credible
+                      if n_credible else 0.0)
+    top10_false = (sum(count for code, count in false_by_country.items()
+                       if code in top10) / n_false
+                   if n_false else 0.0)
     return AssessmentFigure(
-        n_proxies=len(records),
-        verdicts_initial=audit.verdict_counts(initial=True),
-        verdicts_final=audit.verdict_counts(),
-        categories=audit.category_counts(),
+        n_proxies=tally.n_records,
+        verdicts_initial=tally.verdicts_initial,
+        verdicts_final=tally.verdicts,
+        categories=tally.categories,
         alleged_top=alleged_top,
         probable_top=probable_top,
         top10_share_of_credible=top10_credible,
         top10_share_of_false=top10_false,
-        false_fraction=len(false) / len(records) if records else 0.0,
+        false_fraction=n_false / tally.n_records if tally.n_records else 0.0,
     )
 
 

@@ -164,3 +164,40 @@ def honesty_strip(honesty_by_country: Dict[str, float],
         index = min(len(shades) - 1, int(rate * (len(shades) - 1) + 0.5))
         cells.append(shades[index])
     return "".join(cells)
+
+
+def campaign_table(report) -> str:
+    """Render a campaign report (``experiments.campaign.CampaignReport``).
+
+    Takes the report object (or anything with its fields) rather than
+    records: campaign aggregation is streaming, so by the time a table
+    is printed no record list exists to iterate.
+    """
+    lines = [
+        f"campaign '{report.plan_name}' — {report.n_servers} servers"
+        + (f" under fault profile {report.fault_profile}"
+           if report.fault_profile else ""),
+        f"  eta={report.eta['eta']:.3f} (R^2={report.eta['r_squared']:.3f}, "
+        f"{report.eta['n_proxies']} proxies)",
+        f"  verdicts (before disambiguation): {report.verdicts_initial}",
+        f"  verdicts (after):                 {report.verdicts_final}",
+        f"  reclassified: {report.reclassified}",
+        f"  degraded records: {report.degraded}",
+    ]
+    for category, count in sorted(report.categories.items(),
+                                  key=lambda kv: -kv[1]):
+        lines.append(f"    {category:<40} {count:5d}")
+    lines.append("  per-provider verdicts:")
+    for provider in sorted(report.providers):
+        lines.append(f"    {provider:<14} {report.providers[provider]}")
+    truth = report.ground_truth
+    lines.append(
+        f"  ground truth: false_precision={truth['false_precision']:.3f} "
+        f"credible_precision={truth['credible_precision']:.3f} "
+        f"({truth['false_verdicts']} false / "
+        f"{truth['credible_verdicts']} credible verdicts)")
+    top = sorted(report.claimed_countries.items(),
+                 key=lambda kv: (-kv[1], kv[0]))[:10]
+    lines.append("  most-claimed countries: " + " ".join(
+        f"{code.lower()}:{count}" for code, count in top))
+    return "\n".join(lines)

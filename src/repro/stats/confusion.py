@@ -51,6 +51,17 @@ class LabelMatrix:
                    for r, c in zip(rows, cols)]
         return sorted(entries, key=lambda e: -e[2])
 
+    def merge(self, other: "LabelMatrix") -> None:
+        """Fold another matrix's counts into this one (same vocabulary).
+
+        Counting is commutative, so merging per-shard matrices equals
+        counting the concatenated stream — the property the sharded
+        campaign aggregation rests on.
+        """
+        if other.labels != self.labels:
+            raise ValueError("cannot merge matrices over different labels")
+        self.counts += other.counts
+
 
 class CooccurrenceMatrix(LabelMatrix):
     """Symmetric co-occurrence counts (the Appendix A matrices)."""
@@ -68,6 +79,24 @@ class CooccurrenceMatrix(LabelMatrix):
             for b in unique[i + 1:]:
                 self.increment(a, b)
                 self.increment(b, a)
+
+    def add_sets(self, sets: Iterable[Iterable[str]]) -> "CooccurrenceMatrix":
+        """Record a stream of prediction coverages, one at a time.
+
+        Accepts any iterable — a generator over a journal, a list of
+        lists — and never materialises it: each coverage set is counted
+        and dropped, so aggregating a 100k-record stream costs the same
+        memory as a 10-record one.
+        """
+        for covered in sets:
+            self.add_set(covered)
+        return self
+
+    @classmethod
+    def from_sets(cls, labels: Sequence[str],
+                  sets: Iterable[Iterable[str]]) -> "CooccurrenceMatrix":
+        """Build a matrix by streaming ``sets`` through :meth:`add_sets`."""
+        return cls(labels).add_sets(sets)
 
     def confusability(self, a: str, b: str) -> float:
         """P(region covers b | region covers a); 0 when a never appears."""

@@ -1,0 +1,289 @@
+"""The sharded streaming campaign orchestrator.
+
+The contract under test: ``run_campaign(...).report.to_json()`` is
+byte-identical to ``single_shot_report(...)`` — at any shard count,
+serial or parallel, resumed after a mid-shard kill or not, with or
+without fault injection — and the merged campaign journal is
+byte-identical to a finalized single-shot journal of the same fleet.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.experiments import (DeploymentPlan, FleetTemplate, run_campaign,
+                               run_campaign_shard, merge_campaign,
+                               single_shot_report, run_audit)
+from repro.experiments.campaign import (MERGED_JOURNAL, ShardTally,
+                                        _shard_checkpoint, shard_bounds)
+from repro.experiments.checkpoint import (AuditCheckpoint, CheckpointMismatch,
+                                          shard_journal_path)
+
+PLAN = DeploymentPlan(name="slice-60", max_servers=60)
+SMALL_PLAN = DeploymentPlan(name="slice-36", max_servers=36)
+N_SHARDS = 3
+
+
+@pytest.fixture(scope="module")
+def reference_report(scenario):
+    """The byte-identity reference: one unsharded, materialized audit."""
+    return single_shot_report(scenario, PLAN, seed=0)
+
+
+@pytest.fixture(scope="module")
+def campaign_dir(tmp_path_factory):
+    return str(tmp_path_factory.mktemp("campaign"))
+
+
+@pytest.fixture(scope="module")
+def sharded_run(scenario, campaign_dir):
+    """A persisted 3-shard campaign whose journals the tests dissect."""
+    return run_campaign(scenario, PLAN, shards=N_SHARDS,
+                        journal_dir=campaign_dir)
+
+
+# -- shard geometry -----------------------------------------------------------
+
+class TestShardBounds:
+    def test_contiguous_and_complete(self):
+        bounds = shard_bounds(13, 4)
+        assert bounds[0][0] == 0
+        assert bounds[-1][1] == 13
+        for (_, hi), (lo, _) in zip(bounds, bounds[1:]):
+            assert hi == lo
+
+    def test_balanced_within_one(self):
+        sizes = [hi - lo for lo, hi in shard_bounds(13, 4)]
+        assert sizes == [4, 3, 3, 3]
+
+    def test_single_shard_is_whole_fleet(self):
+        assert shard_bounds(7, 1) == [(0, 7)]
+
+    def test_zero_shards_rejected(self):
+        with pytest.raises(ValueError, match="at least one shard"):
+            shard_bounds(5, 0)
+
+
+# -- deployment plans ---------------------------------------------------------
+
+class TestDeploymentPlan:
+    def test_expansion_is_deterministic(self, scenario):
+        first = [server.host.host_id for server in PLAN.expand(scenario)]
+        second = [server.host.host_id for server in PLAN.expand(scenario)]
+        assert first == second
+        assert len(first) == 60
+
+    def test_max_servers_truncates_prefix(self, scenario):
+        full = DeploymentPlan(max_servers=80).expand(scenario)
+        assert PLAN.expand(scenario) == full[:60]
+
+    def test_provider_template_filters(self, scenario):
+        provider = scenario.all_servers()[0].provider
+        plan = DeploymentPlan(
+            name="one-provider",
+            templates=(FleetTemplate(provider=provider),))
+        servers = plan.expand(scenario)
+        assert servers
+        assert all(server.provider == provider for server in servers)
+
+    def test_per_country_cap_enforced(self, scenario):
+        plan = DeploymentPlan(
+            name="capped", templates=(FleetTemplate(max_per_country=2),))
+        counts = {}
+        for server in plan.expand(scenario):
+            key = (server.provider, server.claimed_country)
+            counts[key] = counts.get(key, 0) + 1
+        assert counts
+        assert max(counts.values()) <= 2
+
+    def test_json_round_trip(self):
+        plan = DeploymentPlan(
+            name="eu-sample",
+            templates=(FleetTemplate(provider="anonine",
+                                     countries=("SE", "DE"),
+                                     max_per_country=3),
+                       FleetTemplate()),
+            max_servers=120)
+        assert DeploymentPlan.from_json(plan.to_json()) == plan
+
+
+# -- byte-identity with the single-shot audit ---------------------------------
+
+class TestByteIdentity:
+    def test_three_shard_run_matches_reference(self, sharded_run,
+                                               reference_report):
+        assert sharded_run.report.to_json() == reference_report.to_json()
+
+    @pytest.mark.parametrize("shards", [1, 7])
+    def test_any_shard_count_matches(self, scenario, reference_report,
+                                     shards):
+        run = run_campaign(scenario, PLAN, shards=shards)
+        assert run.report.to_json() == reference_report.to_json()
+
+    def test_parallel_shards_match(self, scenario, reference_report):
+        run = run_campaign(scenario, PLAN, shards=2, workers=2)
+        assert run.report.to_json() == reference_report.to_json()
+
+    def test_merged_journal_matches_single_shot_journal(self, scenario,
+                                                        sharded_run,
+                                                        tmp_path):
+        single = str(tmp_path / "single.jsonl")
+        run_audit(scenario, servers=PLAN.expand(scenario), seed=0,
+                  disambiguate=False, checkpoint_path=single,
+                  sink=ShardTally(), finalize_checkpoint=True)
+        with open(single, "rb") as handle:
+            expected = handle.read()
+        with open(sharded_run.merged_journal, "rb") as handle:
+            merged = handle.read()
+        assert merged == expected
+
+    def test_shard_summaries_cover_fleet(self, sharded_run):
+        assert [s.shard_index for s in sharded_run.shards] == [0, 1, 2]
+        assert sum(s.n_servers for s in sharded_run.shards) == 60
+        assert not any(s.skipped for s in sharded_run.shards)
+
+    def test_report_json_round_trips(self, sharded_run):
+        from repro.experiments import CampaignReport
+        text = sharded_run.report.to_json()
+        assert CampaignReport.from_json(text).to_json() == text
+
+    def test_streaming_matches_disambiguated_audit(self, scenario,
+                                                   sharded_run):
+        """The decomposed (per-record DC pass + group-intersection
+        metadata pass) disambiguation equals the legacy batch passes."""
+        legacy = run_audit(scenario, servers=PLAN.expand(scenario), seed=0,
+                           disambiguate=True)
+        assert sharded_run.report.verdicts_final == legacy.verdict_counts()
+        assert sharded_run.report.reclassified == legacy.reclassified
+
+
+# -- resume and finalize durability -------------------------------------------
+
+def _unfinalize(path, keep_records):
+    """Rewrite a finalized journal as a mid-kill artifact: header without
+    the finality marker, ``keep_records`` intact lines, one torn tail."""
+    with open(path, "r", encoding="utf-8") as handle:
+        lines = handle.read().splitlines()
+    header = json.loads(lines[0])
+    header.pop("complete")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps(header) + "\n")
+        for line in lines[1:1 + keep_records]:
+            handle.write(line + "\n")
+        handle.write(lines[1 + keep_records][:30])  # torn mid-write
+
+
+class TestResume:
+    def test_finalized_shard_skipped_idempotently(self, scenario,
+                                                  campaign_dir, sharded_run):
+        again = run_campaign_shard(scenario, PLAN, shards=N_SHARDS,
+                                   shard_index=0, journal_dir=campaign_dir,
+                                   resume=True)
+        assert again.skipped
+        assert again.verdicts == sharded_run.shards[0].verdicts
+        assert again.degraded == sharded_run.shards[0].degraded
+
+    def test_resume_mid_shard_byte_identical(self, scenario,
+                                             reference_report, tmp_path):
+        directory = str(tmp_path)
+        first = run_campaign(scenario, PLAN, shards=2,
+                             journal_dir=directory)
+        assert first.report.to_json() == reference_report.to_json()
+        _unfinalize(shard_journal_path(directory, 0, 2), keep_records=5)
+        resumed = run_campaign(scenario, PLAN, shards=2,
+                               journal_dir=directory, resume=True)
+        assert resumed.report.to_json() == reference_report.to_json()
+        assert [s.skipped for s in resumed.shards] == [False, True]
+        with open(first.merged_journal, "rb") as handle:
+            merged = handle.read()
+        single = str(tmp_path / "single.jsonl")
+        run_audit(scenario, servers=PLAN.expand(scenario), seed=0,
+                  disambiguate=False, checkpoint_path=single,
+                  sink=ShardTally(), finalize_checkpoint=True)
+        with open(single, "rb") as handle:
+            assert merged == handle.read()
+
+    def test_torn_finalized_journal_rejected(self, scenario, campaign_dir,
+                                             sharded_run, tmp_path):
+        """A finalized journal with a chopped record line is torn or
+        tampered — resume must refuse it loudly, not re-run quietly."""
+        source = shard_journal_path(campaign_dir, 1, N_SHARDS)
+        target = shard_journal_path(str(tmp_path), 1, N_SHARDS)
+        with open(source, "rb") as handle:
+            data = handle.read()
+        with open(target, "wb") as handle:
+            handle.write(data[:-40])
+        with pytest.raises(CheckpointMismatch, match="torn or tampered"):
+            run_campaign_shard(scenario, PLAN, shards=N_SHARDS,
+                               shard_index=1, journal_dir=str(tmp_path),
+                               resume=True)
+
+
+class TestAtomicFinalize:
+    def _shard0_checkpoint(self, scenario, campaign_dir, path):
+        servers = PLAN.expand(scenario)
+        lo, hi = shard_bounds(len(servers), N_SHARDS)[0]
+        return _shard_checkpoint(scenario, servers[lo:hi], path, 0, None)
+
+    def test_incomplete_journal_refuses_finalize(self, scenario,
+                                                 campaign_dir, sharded_run,
+                                                 tmp_path):
+        """finalize() on a journal missing records must raise and leave
+        the journal untouched (no half-written replacement)."""
+        source = shard_journal_path(campaign_dir, 0, N_SHARDS)
+        target = str(tmp_path / "partial.jsonl")
+        with open(source, "r", encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+        header = json.loads(lines[0])
+        header.pop("complete")
+        with open(target, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(header) + "\n")
+            for line in lines[1:6]:
+                handle.write(line + "\n")
+        with open(target, "rb") as handle:
+            before = handle.read()
+        checkpoint = self._shard0_checkpoint(scenario, campaign_dir, target)
+        with pytest.raises(CheckpointMismatch, match="cannot finalize"):
+            checkpoint.finalize()
+        with open(target, "rb") as handle:
+            assert handle.read() == before
+        assert not os.path.exists(target + ".tmp")
+
+    def test_finalize_idempotent(self, scenario, campaign_dir, sharded_run):
+        path = shard_journal_path(campaign_dir, 0, N_SHARDS)
+        with open(path, "rb") as handle:
+            before = handle.read()
+        checkpoint = self._shard0_checkpoint(scenario, campaign_dir, path)
+        checkpoint.finalize()
+        with open(path, "rb") as handle:
+            assert handle.read() == before
+
+    def test_is_final_reflects_marker(self, scenario, campaign_dir,
+                                      sharded_run, tmp_path):
+        path = shard_journal_path(campaign_dir, 0, N_SHARDS)
+        checkpoint = self._shard0_checkpoint(scenario, campaign_dir, path)
+        assert checkpoint.is_final
+        fresh = self._shard0_checkpoint(scenario, campaign_dir,
+                                        str(tmp_path / "missing.jsonl"))
+        assert not fresh.is_final
+
+
+# -- fault injection across shards --------------------------------------------
+
+class TestFaultedCampaign:
+    def test_lossy_wan_shard_invariant(self, scenario):
+        reference = single_shot_report(scenario, SMALL_PLAN, seed=0,
+                                       fault_profile="lossy-wan")
+        sharded = run_campaign(scenario, SMALL_PLAN, shards=3,
+                               fault_profile="lossy-wan")
+        assert sharded.report.to_json() == reference.to_json()
+        assert sharded.report.fault_profile == "lossy-wan"
+
+    def test_merge_only_rebuild_matches(self, scenario, campaign_dir,
+                                        sharded_run):
+        """A fresh-process merge (journals only, no in-memory state)
+        reproduces the report — the multi-invocation CLI workflow."""
+        rebuilt = merge_campaign(scenario, PLAN, shards=N_SHARDS,
+                                 journal_dir=campaign_dir)
+        assert rebuilt.to_json() == sharded_run.report.to_json()

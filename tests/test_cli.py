@@ -57,3 +57,55 @@ class TestCommands:
 
     def test_figure_unknown(self, scenario, capsys):
         assert main(["figure", "fig99"]) == 2
+
+
+class TestCampaignCommand:
+    def _plan_file(self, tmp_path, max_servers=20):
+        from repro.experiments import DeploymentPlan
+        path = tmp_path / "plan.json"
+        plan = DeploymentPlan(name="cli-slice", max_servers=max_servers)
+        path.write_text(plan.to_json(), encoding="utf-8")
+        return str(path)
+
+    def test_campaign_parser_defaults(self):
+        args = build_parser().parse_args(["campaign"])
+        assert args.shards is None
+        assert args.shard_index is None
+        assert not args.merge
+
+    def test_campaign_command_with_report(self, scenario, capsys, tmp_path):
+        import json
+        report_path = tmp_path / "report.json"
+        assert main(["campaign", "--plan", self._plan_file(tmp_path),
+                     "--shards", "2", "--report", str(report_path)]) == 0
+        out = capsys.readouterr().out
+        assert "shard 1/2" in out
+        assert "campaign 'cli-slice'" in out
+        report = json.loads(report_path.read_text(encoding="utf-8"))
+        assert report["n_servers"] == 20
+
+    def test_shard_then_merge_workflow(self, scenario, capsys, tmp_path):
+        plan = self._plan_file(tmp_path)
+        directory = str(tmp_path / "journals")
+        import os
+        os.makedirs(directory)
+        for index in ("0", "1"):
+            assert main(["campaign", "--plan", plan, "--shards", "2",
+                         "--shard-index", index,
+                         "--journal-dir", directory]) == 0
+        assert main(["campaign", "--plan", plan, "--shards", "2",
+                     "--merge", "--journal-dir", directory]) == 0
+        out = capsys.readouterr().out
+        assert "verdicts (pre-disambiguation)" in out
+        assert "campaign 'cli-slice'" in out
+
+    def test_shard_index_needs_journal_dir(self, scenario, capsys, tmp_path):
+        assert main(["campaign", "--plan", self._plan_file(tmp_path),
+                     "--shards", "2", "--shard-index", "0"]) == 2
+        assert "journal" in capsys.readouterr().err
+
+    def test_shard_index_and_merge_exclusive(self, scenario, capsys,
+                                             tmp_path):
+        assert main(["campaign", "--shard-index", "0", "--merge",
+                     "--journal-dir", str(tmp_path)]) == 2
+        assert "mutually exclusive" in capsys.readouterr().err

@@ -77,6 +77,18 @@ class TestParsing:
         monkeypatch.delenv("REPRO_PATHENGINE_CACHE")
         assert config.env_value("REPRO_PATHENGINE_CACHE") is None
 
+    def test_int_knob_parses(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CAMPAIGN_SHARDS", "16")
+        assert config.env_value("REPRO_CAMPAIGN_SHARDS") == 16
+        monkeypatch.delenv("REPRO_CAMPAIGN_SHARDS")
+        assert config.env_value("REPRO_CAMPAIGN_SHARDS") == 1
+
+    @pytest.mark.parametrize("raw", ["four", "2.5", "-3", "0x10"])
+    def test_int_knob_garbage_is_hard_error(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_CAMPAIGN_SHARDS", raw)
+        with pytest.raises(KnobError, match="REPRO_CAMPAIGN_SHARDS"):
+            config.env_value("REPRO_CAMPAIGN_SHARDS")
+
 
 class TestKnobTable:
     def test_markdown_table_covers_every_knob(self):

@@ -211,6 +211,68 @@ class TestR007PerPanelBankLoop:
         assert rules_hit(source, "experiments/figures.py") == []
 
 
+# -- R008: unbounded record accumulation on streaming paths -------------------
+
+class TestR008UnboundedRecordAccumulation:
+    def test_append_to_records_list_flagged(self):
+        source = ("def collect(payloads):\n"
+                  "    records = []\n"
+                  "    for payload in payloads:\n"
+                  "        records.append(payload)\n"
+                  "    return records\n")
+        assert rules_hit(source, "experiments/campaign.py") == ["R008"]
+
+    def test_append_of_record_constructor_flagged(self):
+        source = ("def collect(servers, grid, payloads):\n"
+                  "    out = []\n"
+                  "    for payload in payloads:\n"
+                  "        out.append(_record_from_payload(\n"
+                  "            servers, grid, payload))\n"
+                  "    return out\n")
+        assert rules_hit(source, "experiments/audit.py") == ["R008"]
+
+    def test_record_listcomp_flagged(self):
+        source = ("def collect(servers, grid, payloads):\n"
+                  "    return [_record_from_payload(servers, grid, p)\n"
+                  "            for p in payloads]\n")
+        assert rules_hit(source, "experiments/campaign.py") == ["R008"]
+
+    def test_attribute_records_append_flagged(self):
+        source = ("def stash(self, record):\n"
+                  "    self.kept_records.append(record)\n")
+        assert rules_hit(source, "report.py") == ["R008"]
+
+    def test_sink_aggregation_clean(self):
+        source = ("def accept(self, record):\n"
+                  "    self.tally.add(record)\n"
+                  "    self.providers[record.server.provider] = (\n"
+                  "        self.providers.get(record.server.provider, 0) + 1)\n")
+        assert rules_hit(source, "experiments/campaign.py") == []
+
+    def test_non_record_append_clean(self):
+        source = ("def render(rows):\n"
+                  "    lines = []\n"
+                  "    for row in rows:\n"
+                  "        lines.append(str(row))\n"
+                  "    return lines\n")
+        assert rules_hit(source, "report.py") == []
+
+    def test_other_modules_exempt(self):
+        source = ("def collect(payloads):\n"
+                  "    records = []\n"
+                  "    for payload in payloads:\n"
+                  "        records.append(payload)\n"
+                  "    return records\n")
+        assert rules_hit(source, "experiments/figures.py") == []
+
+    def test_reasoned_suppression_honoured(self):
+        source = ("records = [make_record(p) for p in payloads]"
+                  "  # reprolint: disable=R008 (legacy API keeps the list)\n")
+        result = lint_source(source, scope_path="experiments/audit.py")
+        assert result.ok
+        assert result.suppressions[0].rules == ("R008",)
+
+
 # -- R006: unordered reductions -----------------------------------------------
 
 class TestR006UnorderedReduction:
@@ -298,7 +360,7 @@ class TestEngine:
 
     def test_rule_ids_catalogue(self):
         assert RULE_IDS == ("R001", "R002", "R003", "R004", "R005", "R006",
-                            "R007")
+                            "R007", "R008")
 
 
 class TestCli:

@@ -43,6 +43,14 @@ R007      no scalar bank kernel (``disk_intersections``, ``ring_votes``,
           per-server/per-landmark loop over bank fields is exactly the
           pattern the fleet front ends (``disk_intersections_fleet`` /
           ``ring_votes_fleet``) exist to replace.
+R008      no unbounded record accumulation in the streaming-path
+          modules (``experiments/audit.py``, ``experiments/
+          campaign.py``, ``report.py``): appending built ``AuditRecord``
+          objects to a list (or materialising them with a list
+          comprehension) retains every packed region (~8 KB each) for
+          the life of the campaign; streaming paths must fold records
+          through an ``AuditSink`` and let each region be collected as
+          soon as it is journaled.
 ========  ==============================================================
 """
 
@@ -495,6 +503,82 @@ class PerPanelBankLoop(Rule):
         return sorted(findings)
 
 
+# -- R008: unbounded record accumulation on streaming paths -------------------
+
+#: Modules on the campaign's streaming path.  The legacy materialising
+#: API in ``experiments/audit.py`` carries a reasoned suppression; new
+#: accumulation sites there (and anywhere in campaign/report code) must
+#: aggregate through an AuditSink instead.
+_STREAMING_MODULES = frozenset({
+    "experiments/audit.py", "experiments/campaign.py", "report.py",
+})
+
+
+def _call_func_name(node: ast.expr) -> Optional[str]:
+    """The called function's terminal name, if the node is a Call."""
+    if not isinstance(node, ast.Call):
+        return None
+    target = node.func
+    if isinstance(target, ast.Name):
+        return target.id
+    if isinstance(target, ast.Attribute):
+        return target.attr
+    return None
+
+
+def _builds_record(node: ast.expr) -> bool:
+    """Does this expression construct an audit record?
+
+    Matches calls whose function name mentions ``record`` —
+    ``AuditRecord(...)``, ``_record_from_payload(...)`` and friends.
+    """
+    name = _call_func_name(node)
+    return name is not None and "record" in name.lower()
+
+
+def _names_record_list(node: ast.expr) -> bool:
+    """Is this the ``records`` / ``*_records`` list being appended to?"""
+    if isinstance(node, ast.Name):
+        name = node.id
+    elif isinstance(node, ast.Attribute):
+        name = node.attr
+    else:
+        return False
+    return name == "records" or name.endswith("_records")
+
+
+class UnboundedRecordAccumulation(Rule):
+    id = "R008"
+    title = "unbounded record accumulation on a streaming path"
+
+    _MESSAGE = (
+        "accumulates audit records in memory; each record retains a "
+        "packed ~8 KB region, so a materialised list scales linearly "
+        "with fleet size — fold records through an AuditSink and drop "
+        "them once journaled")
+
+    def applies_to(self, scope_path: str) -> bool:
+        return scope_path in _STREAMING_MODULES
+
+    def check(self, tree: ast.Module, names: Dict[str, str],
+              scope_path: str) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Call):
+                if (isinstance(node.func, ast.Attribute)
+                        and node.func.attr == "append"
+                        and len(node.args) == 1
+                        and (_names_record_list(node.func.value)
+                             or _builds_record(node.args[0]))):
+                    findings.append(
+                        (node.lineno, node.col_offset, self._MESSAGE))
+            elif isinstance(node, ast.ListComp):
+                if _builds_record(node.elt):
+                    findings.append(
+                        (node.lineno, node.col_offset, self._MESSAGE))
+        return findings
+
+
 ALL_RULES: Tuple[Rule, ...] = (
     UnseededRandomness(),
     WallClock(),
@@ -503,6 +587,7 @@ ALL_RULES: Tuple[Rule, ...] = (
     PayloadFieldTypes(),
     UnorderedReduction(),
     PerPanelBankLoop(),
+    UnboundedRecordAccumulation(),
 )
 
 RULE_IDS: Tuple[str, ...] = tuple(rule.id for rule in ALL_RULES)
