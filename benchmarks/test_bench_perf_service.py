@@ -1,0 +1,231 @@
+"""Performance benchmarks of the always-on verdict service.
+
+The service's reason to exist is amortization: one warm audit substrate
+answering millions of claim queries.  Three gates pin that contract:
+
+* a **warm cache hit** must be at least ``WARM_SPEEDUP_MIN`` times
+  cheaper than the stateless single-shot baseline — one full
+  ``run_audit`` invocation per query with no process-level caches, the
+  way a fresh ``repro audit`` CLI call (or the pre-service examples)
+  answered a claim, η refit included;
+* the **uncached micro-batched** path (one ``verdict_batch`` coalescing
+  N queries into shared ``predict_fleet`` sweeps) must beat the same
+  stateless scalar-query baseline by ``BATCH_SPEEDUP_MIN`` per query;
+* the **asyncio frontend** must sustain ``QPS_MIN`` over a mostly-warm
+  workload inside hard p50/p99 latency budgets, with a near-perfect
+  cache hit-rate and a bounded tracemalloc peak.
+
+All speedup gates are same-run ratios (both sides measured on the same
+machine in the same process), so they hold on slow CI runners; the
+absolute budgets are sized for noisy shared hardware.
+"""
+
+import asyncio
+import time
+import tracemalloc
+
+import numpy as np
+import pytest
+
+import repro.experiments.audit as audit_module
+from repro.experiments import run_audit
+from repro.service import ServiceFrontend, VerdictService
+
+#: A warm verdict-cache hit must undercut the stateless single-shot
+#: audit-per-query cost by at least this factor (~630x measured).
+WARM_SPEEDUP_MIN = 50.0
+
+#: Absolute ceiling for one warm cache hit, seconds (~11 us measured).
+WARM_HIT_BUDGET_S = 0.001
+
+#: Uncached micro-batched per-query cost must undercut the stateless
+#: scalar-query baseline by at least this factor (~7.5x measured).
+BATCH_SPEEDUP_MIN = 5.0
+
+#: Servers per cold micro-batch (one verdict_batch call).
+BATCH_SIZE = 24
+
+#: tracemalloc peak budget for one cold 24-server micro-batch.
+BATCH_MEM_BUDGET_BYTES = 16 * 1024 * 1024
+
+#: Frontend workload: requests drawn uniformly from this many warmed
+#: targets, all enqueued concurrently.
+WORKLOAD_TARGETS = 60
+WORKLOAD_REQUESTS = 240
+
+#: Sustained frontend throughput floor, requests/second (~13k measured;
+#: the floor leaves >10x headroom for slow shared runners).
+QPS_MIN = 1000.0
+
+#: Per-request latency budgets through the bounded queue, milliseconds.
+#: p50 includes queue wait — the whole burst arrives at once by design.
+P50_BUDGET_MS = 50.0
+P99_BUDGET_MS = 250.0
+
+#: Verdict-cache hit-rate floor over the warm workload itself.
+HIT_RATE_MIN = 0.95
+
+#: tracemalloc peak budget for the whole frontend burst.
+FRONTEND_MEM_BUDGET_BYTES = 8 * 1024 * 1024
+
+
+@pytest.fixture(scope="module")
+def service(scenario):
+    warmed = VerdictService(scenario, seed=0)
+    run_audit(scenario, max_servers=WORKLOAD_TARGETS, seed=0)
+    return warmed
+
+
+def _best_of(fn, rounds=3):
+    times = []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return min(times)
+
+
+def _stateless_single_shot_s(scenario, server) -> float:
+    """One claim answered the pre-service way: a fresh one-shot audit.
+
+    Clearing the η cache between rounds is what makes the baseline
+    *stateless* — a cold ``repro audit`` invocation refits η before it
+    can measure, which is exactly the per-query cost the long-running
+    service exists to amortize.
+    """
+    def single_shot():
+        audit_module._ETA_CACHE.cache_clear()
+        run_audit(scenario, servers=[server], seed=0)
+    try:
+        return _best_of(single_shot)
+    finally:
+        audit_module._ETA_CACHE.cache_clear()
+
+
+def test_perf_service_warm_cache_hit(benchmark, service, scenario):
+    """A cache-hit verdict vs the stateless single-shot baseline."""
+    target = scenario.all_servers()[0]
+    single_shot_s = _stateless_single_shot_s(scenario, target)
+    service.verdict(target)  # prime the verdict cache
+
+    response = benchmark.pedantic(lambda: service.verdict(target),
+                                  rounds=20, iterations=200)
+    assert response.cached
+
+    hit_s = benchmark.stats.stats.min
+    benchmark.extra_info["single_shot_s"] = single_shot_s
+    benchmark.extra_info["required_speedup"] = WARM_SPEEDUP_MIN
+    benchmark.extra_info["speedup_vs_single_shot"] = single_shot_s / hit_s
+    assert hit_s <= WARM_HIT_BUDGET_S, (
+        f"warm cache hit took {hit_s * 1e6:.0f} us; budget is "
+        f"{WARM_HIT_BUDGET_S * 1e6:.0f} us")
+    assert single_shot_s / hit_s >= WARM_SPEEDUP_MIN, (
+        f"warm hit {hit_s * 1e6:.0f} us is only "
+        f"{single_shot_s / hit_s:.1f}x cheaper than the "
+        f"{single_shot_s * 1e3:.2f} ms single-shot baseline "
+        f"(need {WARM_SPEEDUP_MIN:.0f}x)")
+
+
+def test_perf_service_micro_batched_cold(benchmark, service, scenario):
+    """One coalesced verdict_batch vs stateless scalar queries."""
+    servers = scenario.all_servers()[:BATCH_SIZE]
+    single_shot_s = _stateless_single_shot_s(scenario, servers[0])
+
+    def cold_batch():
+        service.cache_clear()
+        return service.verdict_batch(servers)
+
+    tracemalloc.start()
+    cold_batch()
+    peak = tracemalloc.get_traced_memory()[1]
+    tracemalloc.stop()
+
+    responses = benchmark.pedantic(cold_batch, rounds=10, iterations=1)
+    assert len(responses) == BATCH_SIZE
+
+    per_query_s = benchmark.stats.stats.min / BATCH_SIZE
+    benchmark.extra_info["batch_size"] = BATCH_SIZE
+    benchmark.extra_info["per_query_s"] = per_query_s
+    benchmark.extra_info["scalar_baseline_s"] = single_shot_s
+    benchmark.extra_info["required_speedup"] = BATCH_SPEEDUP_MIN
+    benchmark.extra_info["speedup_vs_scalar"] = single_shot_s / per_query_s
+    benchmark.extra_info["mem_peak_bytes"] = int(peak)
+    benchmark.extra_info["mem_budget_bytes"] = BATCH_MEM_BUDGET_BYTES
+    assert single_shot_s / per_query_s >= BATCH_SPEEDUP_MIN, (
+        f"micro-batched {per_query_s * 1e3:.2f} ms/query is only "
+        f"{single_shot_s / per_query_s:.1f}x cheaper than the "
+        f"{single_shot_s * 1e3:.2f} ms scalar-query baseline "
+        f"(need {BATCH_SPEEDUP_MIN:.0f}x)")
+    assert peak <= BATCH_MEM_BUDGET_BYTES, (
+        f"cold {BATCH_SIZE}-server batch traced {peak} bytes peak; "
+        f"budget is {BATCH_MEM_BUDGET_BYTES}")
+
+
+def test_perf_service_frontend_qps(benchmark, service, scenario):
+    """QPS + p50/p99 through the bounded asyncio queue, mostly warm."""
+    targets = scenario.all_servers()[:WORKLOAD_TARGETS]
+    service.verdict_batch(targets)  # warm every workload target
+    rng = np.random.default_rng(11)
+    workload = [targets[int(pick)] for pick in
+                rng.integers(0, WORKLOAD_TARGETS, size=WORKLOAD_REQUESTS)]
+    latencies_ms = []
+    shed_total = 0
+
+    async def burst():
+        frontend = ServiceFrontend(service, queue_max=256, batch_max=32)
+        round_latencies = []
+
+        async def one(server):
+            started = time.monotonic()
+            response = await frontend.enqueue((server, None))
+            round_latencies.append((time.monotonic() - started) * 1e3)
+            return response
+
+        await asyncio.gather(*(one(server) for server in workload))
+        frontend.close()
+        return frontend.stats, round_latencies
+
+    def run_burst():
+        nonlocal shed_total
+        stats, round_latencies = asyncio.run(burst())
+        shed_total += stats.shed
+        latencies_ms[:] = sorted(round_latencies)
+
+    before = service.cache_info()["verdicts"]
+    tracemalloc.start()
+    run_burst()
+    peak = tracemalloc.get_traced_memory()[1]
+    tracemalloc.stop()
+    after = service.cache_info()["verdicts"]
+    workload_hits = after.hits - before.hits
+    workload_misses = after.misses - before.misses
+    hit_rate = workload_hits / max(1, workload_hits + workload_misses)
+
+    benchmark.pedantic(run_burst, rounds=3, iterations=1)
+
+    wall_s = benchmark.stats.stats.min
+    qps = WORKLOAD_REQUESTS / wall_s
+    p50 = latencies_ms[len(latencies_ms) // 2]
+    p99 = latencies_ms[int(len(latencies_ms) * 0.99)]
+    benchmark.extra_info["requests"] = WORKLOAD_REQUESTS
+    benchmark.extra_info["qps"] = qps
+    benchmark.extra_info["p50_ms"] = p50
+    benchmark.extra_info["p99_ms"] = p99
+    benchmark.extra_info["hit_rate"] = hit_rate
+    benchmark.extra_info["shed"] = shed_total
+    benchmark.extra_info["mem_peak_bytes"] = int(peak)
+    benchmark.extra_info["mem_budget_bytes"] = FRONTEND_MEM_BUDGET_BYTES
+
+    assert shed_total == 0, f"{shed_total} requests shed under a warm burst"
+    assert qps >= QPS_MIN, (
+        f"frontend sustained {qps:,.0f} QPS; the floor is {QPS_MIN:,.0f}")
+    assert p50 <= P50_BUDGET_MS, (
+        f"p50 latency {p50:.2f} ms exceeds the {P50_BUDGET_MS:.0f} ms budget")
+    assert p99 <= P99_BUDGET_MS, (
+        f"p99 latency {p99:.2f} ms exceeds the {P99_BUDGET_MS:.0f} ms budget")
+    assert hit_rate >= HIT_RATE_MIN, (
+        f"workload hit-rate {hit_rate:.3f} under the warmed fleet is below "
+        f"the {HIT_RATE_MIN:.2f} floor")
+    assert peak <= FRONTEND_MEM_BUDGET_BYTES, (
+        f"frontend burst traced {peak} bytes peak; budget is "
+        f"{FRONTEND_MEM_BUDGET_BYTES}")

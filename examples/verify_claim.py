@@ -2,57 +2,42 @@
 """Investigate a single suspicious proxy claim, end to end.
 
 The paper's motivating story: a VPN provider advertises a server in an
-implausible country.  This example finds a proxy whose claim CBG++
-disproves, walks through every pipeline step — self-ping η adaptation,
-two-phase landmark selection, multilateration, assessment, data-centre
-disambiguation — and prints the evidence an auditor would publish.
+implausible country.  This example stands up the always-on verdict
+service — one warm-up pays for the whole session: fault-profile
+resolution, the fleet-wide self-ping η fit, and a batched Dijkstra over
+every router a measurement can touch — then audits the long tail of
+hard-hosting claims as a single micro-batched sweep and publishes the
+evidence for the first claim CBG++ disproves.
 
 Run:  python examples/verify_claim.py
 """
 
-import numpy as np
-
-from repro.core import (
-    CBGPlusPlus,
-    ProxyMeasurer,
-    TwoPhaseDriver,
-    TwoPhaseSelector,
-    assess_claim,
-    estimate_eta,
-)
 from repro.experiments import default_scenario
+from repro.service import VerdictService
 
 
 def main() -> None:
-    print("Building the simulated world...")
+    print("Building the simulated world and warming the verdict service...")
     scenario = default_scenario()
-    rng = np.random.default_rng(7)
+    service = VerdictService(scenario, seed=7)
+    print(f"Service ready: eta = {service.eta.eta:.3f} from "
+          f"{service.eta.n_proxies} pingable proxies, "
+          f"epoch {service.epoch.digest[:12]}")
 
-    # Candidates: claims in hard-hosting (tier 3) countries — the long tail
-    # where the paper found nearly everything false.  The audit loop below
-    # examines them one at a time, exactly as a real auditor would, and
-    # stops at the first disproven claim.
+    # Candidates: claims in hard-hosting (tier 3) countries — the long
+    # tail where the paper found nearly everything false.  One
+    # verdict_batch call coalesces all 25 measurements into vectorised
+    # predict_fleet sweeps instead of 25 scalar pipelines.
     candidates = [s for s in scenario.all_servers()
                   if scenario.registry.get(s.claimed_country).hosting_tier == 3]
-    print(f"{len(candidates)} servers claim hard-hosting countries; auditing...")
+    print(f"{len(candidates)} servers claim hard-hosting countries; "
+          "auditing 25 as one micro-batched sweep...")
+    responses = service.verdict_batch(candidates[:25])
 
-    # Step 1: the client-to-proxy factor, fitted once for the whole fleet.
-    eta = estimate_eta(scenario.network, scenario.client,
-                       scenario.all_servers(), rng)
-    print(f"\nStep 1 — eta = {eta.eta:.3f} from {eta.n_proxies} pingable proxies")
-
-    algorithm = CBGPlusPlus(scenario.calibrations, scenario.worldmap)
-    driver = TwoPhaseDriver(TwoPhaseSelector(scenario.atlas, seed=7), algorithm)
-
-    suspicious = result = assessment = None
-    for candidate in candidates[:25]:
-        measurer = ProxyMeasurer(scenario.network, scenario.client, candidate,
-                                 eta=eta.eta, seed=7)
-        attempt = driver.locate(measurer.observe, rng)
-        verdict = assess_claim(attempt.prediction.region,
-                               candidate.claimed_country, scenario.worldmap)
-        if verdict.is_false:
-            suspicious, result, assessment = candidate, attempt, verdict
+    suspicious = response = None
+    for candidate, answer in zip(candidates[:25], responses):
+        if answer.verdict == "false":
+            suspicious, response = candidate, answer
             break
     if suspicious is None:
         print("No disproven claim in the first 25 candidates; rerun with "
@@ -63,27 +48,36 @@ def main() -> None:
     print(f"\nSuspect: {suspicious.hostname} ({suspicious.ip}), "
           f"provider {suspicious.provider}")
     print(f"Advertised location: {claimed.name} ({claimed.iso2})")
-    print(f"\nStep 2 — phase 1 deduced continent: {result.deduced_continent}")
-    print(f"Step 3 — CBG++ region: {result.prediction.area_km2():,.0f} km^2 "
-          f"from {len(result.prediction.used_landmarks)} landmarks "
-          f"({len(result.prediction.discarded_landmarks)} disks discarded)")
-    covered = assessment.countries_covered
+    print(f"\nStep 2 — phase 1 deduced continent: {response.deduced_continent}")
+    print(f"Step 3 — CBG++ region: {response.area_km2:,.0f} km^2 "
+          f"from {len(response.used_landmarks)} landmarks")
+    covered = response.countries
     print(f"\nStep 4 — region covers: {', '.join(covered[:8])}"
           + (" ..." if len(covered) > 8 else ""))
-    print(f"         verdict: {assessment.verdict.value.upper()} "
-          f"({assessment.continent_verdict.value})")
+    print(f"         verdict: {response.verdict.upper()} "
+          f"({response.continent_verdict})")
 
     # Step 5: data-centre disambiguation, if the region is ambiguous.
-    dc_countries = scenario.datacenters.countries_with_dc_in_region(
-        result.prediction.region)
+    # region_of() is a cache hit — the measurement behind the verdict is
+    # reused, not repeated.
+    region = service.region_of(suspicious)
+    dc_countries = scenario.datacenters.countries_with_dc_in_region(region)
     print(f"\nStep 5 — data centres inside the region: "
           f"{', '.join(dc_countries) if dc_countries else 'none'}")
     if len(dc_countries) == 1:
         print(f"         -> proxy pinned to {dc_countries[0]}")
 
+    # Asking again is free, and byte-identical to the cold answer.
+    again = service.verdict(suspicious)
+    assert again.cached
+    assert again.canonical_json() == response.canonical_json()
+    hits = service.cache_info()["verdicts"].hits
+    print(f"\nRe-query served from cache ({hits} hits so far), "
+          "byte-identical to the cold verdict.")
+
     truth = scenario.true_country_of(suspicious)
     print(f"\nGround truth (simulator only): the server is in {truth}.")
-    if assessment.is_false:
+    if response.verdict == "false":
         print("The audit correctly disproved the provider's claim.")
 
 

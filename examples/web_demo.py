@@ -3,58 +3,56 @@
 
 The crowdsourcing website (§4.2) "presents a live demonstration of active
 geolocation, displaying the measurements as circles drawn on a map, much
-as in Figure 1."  This example replays that experience in the terminal:
-it measures a handful of landmarks one at a time and redraws the shrinking
-intersection after each, ending with the CBG++ verdict.
+as in Figure 1."  This example replays that experience in the terminal,
+backed by the always-on verdict service: the visitor is handed to the
+service as an ad-hoc target, the two-phase pipeline measures them once,
+and both the rendered map and the claim verdict come straight out of the
+service's caches — no per-request warm-up, no duplicated pipeline code.
 
 Run:  python examples/web_demo.py
 """
 
-import numpy as np
-
-from repro.core import CBGPlusPlus, RttObservation
 from repro.experiments import default_scenario
-from repro.geodesy import haversine_km
-from repro.netsim import WebTool
+from repro.netsim import ProxyServer
 from repro.report import region_map
+from repro.service import VerdictService
 
 
 def main() -> None:
-    print("Building the simulated world...")
+    print("Building the simulated world and warming the verdict service...")
     scenario = default_scenario()
+    service = VerdictService(scenario, seed=3)
 
-    # "You" are a visitor to the demo page, somewhere in Europe.
+    # "You" are a visitor to the demo page, somewhere in Europe.  The
+    # service audits any ProxyServer-shaped target, so the demo wraps
+    # the visitor as an ad-hoc "proxy" claiming its own true country.
     you = scenario.factory.create(47.38, 8.54, name="demo-visitor",
                                   os="linux")
-    print("Welcome! Measuring round-trip times from your browser to a few")
+    claimed = scenario.worldmap.country_at(47.38, 8.54)
+    visitor = ProxyServer(
+        hostname="demo-visitor", ip="203.0.113.7", provider="web-demo",
+        claimed_country=claimed, host=you, asn=64496,
+        prefix="203.0.113.0/24", datacenter_city_id=-1, honest=True,
+        responds_to_ping=True, gateway_responds=True,
+        allows_traceroute=True)
+
+    print("Welcome! Measuring round-trip times from your browser to")
     print("landmarks in known locations; each one bounds where you can be.\n")
 
-    tool = WebTool(scenario.network, browser="firefox-61", seed=3)
-    rng = np.random.default_rng(3)
-    algorithm = CBGPlusPlus(scenario.calibrations, scenario.worldmap)
+    response = service.verdict(visitor)
+    region = service.region_of(visitor)  # cache hit: measured once above
 
-    # A handful of European anchors, nearest first for drama.
-    anchors = sorted(
-        (lm for lm in scenario.atlas.anchors if lm.name.startswith("anchor-EU")),
-        key=lambda lm: haversine_km(you.lat, you.lon, lm.lat, lm.lon))[:6]
-
-    observations = []
-    for landmark in anchors:
-        sample = tool.measure(you, landmark, rng)
-        observations.append(RttObservation(
-            landmark.name, landmark.lat, landmark.lon,
-            sample.apparent_one_way_ms))
-        print(f"* {landmark.name}: {sample.rtt_ms:.1f} ms")
-        if len(observations) >= 3:
-            prediction = algorithm.predict(observations)
-            print(f"  -> region now {prediction.area_km2():,.0f} km^2")
-    prediction = algorithm.predict(observations)
-    covered = scenario.worldmap.countries_covered(prediction.region)
+    print(f"* phase 1 deduced your continent: {response.deduced_continent}")
+    print(f"* phase 2 intersected {len(response.used_landmarks)} "
+          "landmark disks")
+    print(f"* the intersection covers {response.area_km2:,.0f} km^2")
 
     print("\nFinal prediction ('X' marks your actual position):")
-    print(region_map(scenario.worldmap, prediction.region,
+    print(region_map(scenario.worldmap, region,
                      markers=[(you.lat, you.lon)], height=20, width=72))
-    print(f"You appear to be in: {', '.join(covered)}")
+    print(f"You appear to be in: {', '.join(response.countries)}")
+    print(f"Your browser claimed {claimed}; the service says that claim "
+          f"is {response.verdict.upper()}.")
     print("(If you are comfortable sharing your true location, the real")
     print("site asked you to upload these measurements for validation.)")
 

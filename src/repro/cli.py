@@ -246,6 +246,35 @@ def _cmd_eta(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from .service import VerdictService
+    from .service.frontend import serve_blocking
+    scenario = _scenario(args)
+    service = VerdictService(scenario, seed=args.seed,
+                             fault_profile=args.fault_profile,
+                             cache_slots=args.cache_slots,
+                             batch_max=args.batch_max,
+                             workers=args.workers)
+    print(f"verdict service ready: epoch {service.epoch.digest[:16]}, "
+          f"{len(scenario.all_servers())} fleet servers, "
+          f"eta={service.eta.eta:.3f}")
+    if args.warm:
+        warmed = service.verdict_batch(
+            [(server, None) for server in scenario.all_servers()])
+        print(f"warmed {len(warmed)} verdicts into the cache")
+    stats = serve_blocking(service, host=args.host, port=args.port,
+                           queue_max=args.queue_max,
+                           batch_max=args.batch_max,
+                           max_requests=args.max_requests)
+    info = service.cache_info()
+    print(f"served {stats.responses} verdicts "
+          f"({stats.shed} shed, {stats.errors} errors, "
+          f"{stats.batches} batches, largest {stats.max_batch}); "
+          f"verdict cache {info['verdicts'].hits} hits / "
+          f"{info['verdicts'].misses} misses")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -324,6 +353,35 @@ def build_parser() -> argparse.ArgumentParser:
 
     eta = commands.add_parser("eta", help="fit the direct/indirect factor")
     eta.set_defaults(func=_cmd_eta)
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the always-on verdict service (claim queries over TCP)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="interface to bind (default: loopback)")
+    serve.add_argument("--port", type=int, default=8737,
+                       help="TCP port (0 = ephemeral)")
+    serve.add_argument("--workers", type=int, default=None,
+                       help="fork-pool workers for uncached micro-batches "
+                            "(default: REPRO_SERVICE_WORKERS)")
+    serve.add_argument("--batch-max", type=int, default=None,
+                       help="largest coalesced micro-batch "
+                            "(default: REPRO_SERVICE_BATCH_MAX)")
+    serve.add_argument("--queue-max", type=int, default=None,
+                       help="pending-request bound before shedding "
+                            "(default: REPRO_SERVICE_QUEUE_MAX)")
+    serve.add_argument("--cache-slots", type=int, default=None,
+                       help="verdict-cache capacity "
+                            "(default: REPRO_SERVICE_CACHE_SLOTS)")
+    serve.add_argument("--fault-profile", default=None,
+                       choices=sorted(FAULT_PROFILES),
+                       help="serve under a deterministic fault profile")
+    serve.add_argument("--warm", action="store_true",
+                       help="pre-audit the whole fleet into the cache "
+                            "before accepting connections")
+    serve.add_argument("--max-requests", type=int, default=None,
+                       help="exit after N requests (for scripted runs)")
+    serve.set_defaults(func=_cmd_serve)
     return parser
 
 

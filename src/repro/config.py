@@ -190,6 +190,43 @@ SANITIZE = _register(Knob(
 ))
 
 
+SERVICE_CACHE_SLOTS = _register(Knob(
+    name="REPRO_SERVICE_CACHE_SLOTS",
+    kind="int",
+    default=4096,
+    doc="Verdict-cache capacity for the always-on verdict service "
+        "(`repro serve` / VerdictService): entries beyond this are "
+        "evicted least-recently-used; 0 means the built-in default.",
+))
+
+SERVICE_BATCH_MAX = _register(Knob(
+    name="REPRO_SERVICE_BATCH_MAX",
+    kind="int",
+    default=32,
+    doc="Largest micro-batch the verdict service coalesces uncached "
+        "queries into before one vectorised predict_fleet sweep; "
+        "0 means the built-in default.",
+))
+
+SERVICE_QUEUE_MAX = _register(Knob(
+    name="REPRO_SERVICE_QUEUE_MAX",
+    kind="int",
+    default=256,
+    doc="Bound on the verdict service's pending-request queue; arrivals "
+        "past it are shed as degraded verdicts instead of queueing "
+        "without bound; 0 means the built-in default.",
+))
+
+SERVICE_WORKERS = _register(Knob(
+    name="REPRO_SERVICE_WORKERS",
+    kind="int",
+    default=1,
+    doc="Fork-pool workers the verdict service evaluates uncached "
+        "micro-batches with (1 = in-process, no pool); verdicts are "
+        "byte-identical at any worker count.",
+))
+
+
 def knob(name: str) -> Knob:
     """The :class:`Knob` registered under ``name`` (KeyError if none)."""
     try:

@@ -10,7 +10,6 @@ from __future__ import annotations
 
 import itertools
 import multiprocessing
-from collections import OrderedDict, namedtuple
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from typing import (Callable, Dict, Iterable, List, Optional, Protocol,
@@ -31,6 +30,7 @@ from ..core.twophase import (
 )
 from .. import config
 from ..geo.region import Region
+from ..lrucache import CacheInfo, LruCache
 from ..netsim.faults import (
     FaultInjector,
     FaultProfile,
@@ -403,8 +403,7 @@ def _parallel_payloads(scenario: Scenario, driver: TwoPhaseDriver,
 #: and the draws never feed any later per-server stream — so a cache hit
 #: is bit-identical to refitting, and repeated quick audits of the same
 #: campaign skip the whole-fleet self-ping sweep.
-_ETA_CACHE: "OrderedDict[tuple, EtaEstimate]" = OrderedDict()
-_ETA_CACHE_SLOTS = 16
+_ETA_CACHE: "LruCache[tuple, EtaEstimate]" = LruCache(maxsize=16)
 
 
 def _campaign_eta(scenario: Scenario, seed: int,
@@ -416,11 +415,7 @@ def _campaign_eta(scenario: Scenario, seed: int,
     if eta is None:
         eta = estimate_eta(scenario.network, scenario.client,
                            scenario.all_servers(), rng)
-        _ETA_CACHE[key] = eta
-        while len(_ETA_CACHE) > _ETA_CACHE_SLOTS:
-            _ETA_CACHE.popitem(last=False)
-    else:
-        _ETA_CACHE.move_to_end(key)
+        _ETA_CACHE.put(key, eta)
     return eta
 
 
@@ -646,13 +641,15 @@ def run_audit(scenario: Scenario,
                        fault_profile=profile.name if profile else None)
 
 
-_AUDIT_CACHE: "OrderedDict[tuple, AuditResult]" = OrderedDict()
 _AUDIT_CACHE_SLOTS = 8
-_AUDIT_CACHE_STATS = {"hits": 0, "misses": 0}
+_AUDIT_CACHE: "LruCache[tuple, AuditResult]" = LruCache(
+    maxsize=_AUDIT_CACHE_SLOTS)
 _scenario_tokens = itertools.count()
 
-AuditCacheInfo = namedtuple("AuditCacheInfo",
-                            ["hits", "misses", "maxsize", "currsize"])
+#: The shared cache-counter record (`functools.lru_cache` field order
+#: plus ``evictions``), common to ``cached_audit`` and the verdict
+#: service's caches.
+AuditCacheInfo = CacheInfo
 
 
 def _scenario_token(scenario: Scenario) -> int:
@@ -679,37 +676,20 @@ def cached_audit(scenario: Scenario, max_servers: Optional[int] = None,
     oldest audit is dropped once ``_AUDIT_CACHE_SLOTS`` distinct
     (scenario, max_servers, seed) combinations have been seen.
 
-    ``cached_audit.cache_info()`` reports hit/miss counters (the perf
-    benches use them to prove cache effectiveness) and
+    ``cached_audit.cache_info()`` reports hit/miss/eviction counters
+    (the perf benches use them to prove cache effectiveness) and
     ``cached_audit.cache_clear()`` empties both the cache and the
-    counters, mirroring :func:`functools.lru_cache`'s wrapper API.
+    counters, mirroring :func:`functools.lru_cache`'s wrapper API.  Both
+    ride on the shared :class:`repro.lrucache.LruCache`, the same
+    implementation behind the verdict service's caches.
     """
     key = (_scenario_token(scenario), max_servers, seed)
     result = _AUDIT_CACHE.get(key)
     if result is None:
-        _AUDIT_CACHE_STATS["misses"] += 1
         result = run_audit(scenario, max_servers=max_servers, seed=seed)
-        while len(_AUDIT_CACHE) >= _AUDIT_CACHE_SLOTS:
-            _AUDIT_CACHE.popitem(last=False)
-        _AUDIT_CACHE[key] = result
-    else:
-        _AUDIT_CACHE_STATS["hits"] += 1
-        _AUDIT_CACHE.move_to_end(key)
+        _AUDIT_CACHE.put(key, result)
     return result
 
 
-def _audit_cache_info() -> AuditCacheInfo:
-    return AuditCacheInfo(hits=_AUDIT_CACHE_STATS["hits"],
-                          misses=_AUDIT_CACHE_STATS["misses"],
-                          maxsize=_AUDIT_CACHE_SLOTS,
-                          currsize=len(_AUDIT_CACHE))
-
-
-def _audit_cache_clear() -> None:
-    _AUDIT_CACHE.clear()
-    _AUDIT_CACHE_STATS["hits"] = 0
-    _AUDIT_CACHE_STATS["misses"] = 0
-
-
-cached_audit.cache_info = _audit_cache_info
-cached_audit.cache_clear = _audit_cache_clear
+cached_audit.cache_info = _AUDIT_CACHE.cache_info
+cached_audit.cache_clear = _AUDIT_CACHE.cache_clear

@@ -199,6 +199,30 @@ class Network:
                          for a, b in zip(a_routers, b_routers)],
                         dtype=np.float64)
 
+    def topology_digest(self) -> str:
+        """Content digest of the router graph (nodes, edges, weights).
+
+        Engine-independent: the networkx fallback hashes exactly the
+        bytes the CSR engine does, so a service epoch captured under one
+        path engine matches the digest captured under the other.
+        """
+        if self._engine is not None:
+            return self._engine.topology_digest()
+        import hashlib
+
+        nodes = sorted(self.topology.graph.nodes)
+        hasher = hashlib.sha256()
+        hasher.update(np.int64(len(nodes)).tobytes())
+        hasher.update(np.asarray(nodes, dtype=np.int64).tobytes())
+        edges = sorted(
+            (min(u, v), max(u, v), w)
+            for u, v, w in self.topology.graph.edges(data="latency_ms"))
+        for u, v, w in edges:
+            hasher.update(np.asarray(u, dtype=np.int64).tobytes())
+            hasher.update(np.asarray(v, dtype=np.int64).tobytes())
+            hasher.update(np.float64(w).tobytes())
+        return hasher.hexdigest()
+
     def warm_paths(self, hosts: Sequence[Host]) -> None:
         """Precompute shortest-path rows for a host universe.
 

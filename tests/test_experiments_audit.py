@@ -102,7 +102,8 @@ class TestRunAudit:
         monkeypatch.setattr(audit_module, "run_audit",
                             lambda s, max_servers=None, seed=0: calls.append(seed))
         monkeypatch.setattr(audit_module, "_AUDIT_CACHE", type(
-            audit_module._AUDIT_CACHE)())
+            audit_module._AUDIT_CACHE)(
+                maxsize=audit_module._AUDIT_CACHE_SLOTS))
         for seed in range(audit_module._AUDIT_CACHE_SLOTS + 3):
             audit_module.cached_audit(scenario, max_servers=1, seed=seed)
         assert len(audit_module._AUDIT_CACHE) <= audit_module._AUDIT_CACHE_SLOTS

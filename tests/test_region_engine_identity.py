@@ -156,12 +156,15 @@ class TestCachedAuditCounters:
     def test_cache_clear_resets_counters(self, scenario):
         # Snapshot and restore the module cache: other tests share the
         # session-scoped audit entry and must not pay for a recompute.
-        saved_cache = dict(audit_module._AUDIT_CACHE)
-        saved_stats = dict(audit_module._AUDIT_CACHE_STATS)
+        saved_entries = audit_module._AUDIT_CACHE.items()
+        saved_info = cached_audit.cache_info()
         try:
             cached_audit.cache_clear()
             info = cached_audit.cache_info()
-            assert info == (0, 0, audit_module._AUDIT_CACHE_SLOTS, 0)
+            assert info == (0, 0, audit_module._AUDIT_CACHE_SLOTS, 0, 0)
         finally:
-            audit_module._AUDIT_CACHE.update(saved_cache)
-            audit_module._AUDIT_CACHE_STATS.update(saved_stats)
+            for key, value in saved_entries:
+                audit_module._AUDIT_CACHE.put(key, value)
+            audit_module._AUDIT_CACHE._hits = saved_info.hits
+            audit_module._AUDIT_CACHE._misses = saved_info.misses
+            audit_module._AUDIT_CACHE._evictions = saved_info.evictions

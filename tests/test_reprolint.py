@@ -74,6 +74,22 @@ class TestR002WallClock:
         source = "import time\ntime.sleep(0.1)\n"
         assert rules_hit(source, "netsim/foo.py") == []
 
+    def test_monotonic_allowed_in_service_scope(self):
+        source = "import time\nstarted = time.monotonic()\n"
+        assert rules_hit(source, "service/foo.py") == []
+
+    def test_monotonic_ns_allowed_in_service_scope(self):
+        source = "import time\nstarted = time.monotonic_ns()\n"
+        assert rules_hit(source, "service/foo.py") == []
+
+    def test_time_time_in_service_still_flagged(self):
+        source = "import time\nstamp = time.time()\n"
+        assert rules_hit(source, "service/foo.py") == ["R002"]
+
+    def test_monotonic_outside_service_still_flagged(self):
+        source = "import time\nstarted = time.monotonic()\n"
+        assert rules_hit(source, "netsim/foo.py") == ["R002"]
+
 
 # -- R003: uncentralised knob reads -------------------------------------------
 
@@ -273,6 +289,105 @@ class TestR008UnboundedRecordAccumulation:
         assert result.suppressions[0].rules == ("R008",)
 
 
+# -- R009: unbounded queue/container growth in service code -------------------
+
+class TestR009UnboundedServiceGrowth:
+    def test_unbounded_asyncio_queue_flagged(self):
+        source = "import asyncio\nq = asyncio.Queue()\n"
+        assert rules_hit(source, "service/foo.py") == ["R009"]
+
+    def test_zero_maxsize_queue_flagged(self):
+        source = "import asyncio\nq = asyncio.Queue(maxsize=0)\n"
+        assert rules_hit(source, "service/foo.py") == ["R009"]
+
+    def test_simple_queue_always_flagged(self):
+        source = "import queue\nq = queue.SimpleQueue()\n"
+        assert rules_hit(source, "service/foo.py") == ["R009"]
+
+    def test_bounded_queue_clean(self):
+        source = "import asyncio\nq = asyncio.Queue(maxsize=256)\n"
+        assert rules_hit(source, "service/foo.py") == []
+
+    def test_runtime_bound_queue_clean(self):
+        source = ("import asyncio\n"
+                  "def start(self):\n"
+                  "    self.q = asyncio.Queue(maxsize=self.queue_max)\n")
+        assert rules_hit(source, "service/foo.py") == []
+
+    def test_positional_bound_clean(self):
+        source = "import queue\nq = queue.Queue(128)\n"
+        assert rules_hit(source, "service/foo.py") == []
+
+    def test_self_dict_growth_flagged(self):
+        source = ("class Cache:\n"
+                  "    def __init__(self):\n"
+                  "        self.entries = {}\n"
+                  "    def put(self, key, value):\n"
+                  "        self.entries[key] = value\n")
+        assert rules_hit(source, "service/foo.py") == ["R009"]
+
+    def test_self_list_append_flagged(self):
+        source = ("class Log:\n"
+                  "    def __init__(self):\n"
+                  "        self.lines = []\n"
+                  "    def note(self, line):\n"
+                  "        self.lines.append(line)\n")
+        assert rules_hit(source, "service/foo.py") == ["R009"]
+
+    def test_module_level_dict_growth_flagged(self):
+        source = ("_REGISTRY = {}\n"
+                  "def register(name, value):\n"
+                  "    _REGISTRY[name] = value\n")
+        assert rules_hit(source, "service/foo.py") == ["R009"]
+
+    def test_unbounded_deque_growth_flagged(self):
+        source = ("import collections\n"
+                  "class Log:\n"
+                  "    def __init__(self):\n"
+                  "        self.lines = collections.deque()\n"
+                  "    def note(self, line):\n"
+                  "        self.lines.append(line)\n")
+        assert rules_hit(source, "service/foo.py") == ["R009"]
+
+    def test_bounded_deque_growth_clean(self):
+        source = ("import collections\n"
+                  "class Log:\n"
+                  "    def __init__(self):\n"
+                  "        self.lines = collections.deque(maxlen=64)\n"
+                  "    def note(self, line):\n"
+                  "        self.lines.append(line)\n")
+        assert rules_hit(source, "service/foo.py") == []
+
+    def test_local_list_growth_clean(self):
+        source = ("def render(rows):\n"
+                  "    lines = []\n"
+                  "    for row in rows:\n"
+                  "        lines.append(str(row))\n"
+                  "    return lines\n")
+        assert rules_hit(source, "service/foo.py") == []
+
+    def test_lru_cache_state_clean(self):
+        source = ("from repro.lrucache import LruCache\n"
+                  "class Cache:\n"
+                  "    def __init__(self, slots):\n"
+                  "        self.entries = LruCache(maxsize=slots)\n"
+                  "    def put(self, key, value):\n"
+                  "        self.entries.put(key, value)\n")
+        assert rules_hit(source, "service/foo.py") == []
+
+    def test_non_service_scope_exempt(self):
+        source = "import asyncio\nq = asyncio.Queue()\n"
+        assert rules_hit(source, "experiments/foo.py") == []
+
+    def test_reasoned_suppression_honoured(self):
+        source = ("import queue\n"
+                  "q = queue.SimpleQueue()"
+                  "  # reprolint: disable=R009 (drained every tick)\n")
+        result = lint_source(source, scope_path="service/foo.py")
+        assert result.ok
+        assert result.suppressions[0].rules == ("R009",)
+
+
 # -- R006: unordered reductions -----------------------------------------------
 
 class TestR006UnorderedReduction:
@@ -360,7 +475,7 @@ class TestEngine:
 
     def test_rule_ids_catalogue(self):
         assert RULE_IDS == ("R001", "R002", "R003", "R004", "R005", "R006",
-                            "R007", "R008")
+                            "R007", "R008", "R009")
 
 
 class TestCli:

@@ -261,7 +261,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="reprolint",
         description="AST-based determinism & invariant linter "
-                    "(rules R001-R008; see DESIGN.md)")
+                    "(rules R001-R009; see DESIGN.md)")
     parser.add_argument("paths", nargs="*", default=["src"],
                         help="files or directories to lint (default: src)")
     parser.add_argument("--json", metavar="FILE", default=None,

@@ -14,9 +14,11 @@ R001      no unseeded randomness: ``np.random.*`` module-level calls,
           the ``(seed, host_id)`` stream discipline serial == parallel
           == resumed audits rest on.
 R002      no wall clock in ``core/``, ``netsim/``, ``geo/``,
-          ``experiments/``: the simulator runs on logical campaign
-          time; one ``time.time()`` in a measurement path makes records
-          depend on host speed.
+          ``experiments/``, ``service/``: the simulator runs on logical
+          campaign time; one ``time.time()`` in a measurement path makes
+          records depend on host speed.  One allowlist: ``service/``
+          modules may call ``time.monotonic``/``time.monotonic_ns`` for
+          latency instrumentation — verdict *content* never touches it.
 R003      every ``REPRO_*`` environment knob is read through
           ``repro/config.py``; scattered ``os.environ`` reads are how a
           typo'd knob silently changes engines.  Additionally, every
@@ -51,6 +53,13 @@ R008      no unbounded record accumulation in the streaming-path
           the life of the campaign; streaming paths must fold records
           through an ``AuditSink`` and let each region be collected as
           soon as it is journaled.
+R009      no unbounded queue/container growth in ``service/``: a
+          long-running daemon that constructs a queue without a
+          ``maxsize`` bound, or grows an empty-initialised instance or
+          module-level dict/list/set in place, leaks memory one request
+          at a time; state must live in a bounded structure (the shared
+          ``LruCache``, a capped ``asyncio.Queue``) or be evicted
+          explicitly.
 ========  ==============================================================
 """
 
@@ -179,7 +188,15 @@ _WALL_CLOCK = {
     "datetime.datetime.today", "datetime.date.today",
 }
 
-_SIMULATED_TIME_SCOPES = ("core/", "netsim/", "geo/", "experiments/")
+_SIMULATED_TIME_SCOPES = ("core/", "netsim/", "geo/", "experiments/",
+                          "service/")
+
+#: The service layer's latency-instrumentation allowlist: monotonic
+#: deltas never enter a verdict, so R002 permits them there (and only
+#: there); every other clock stays banned.
+_SERVICE_CLOCK_ALLOWLIST = frozenset({
+    "time.monotonic", "time.monotonic_ns",
+})
 
 
 class WallClock(Rule):
@@ -192,16 +209,20 @@ class WallClock(Rule):
     def check(self, tree: ast.Module, names: Dict[str, str],
               scope_path: str) -> List[Finding]:
         findings: List[Finding] = []
+        in_service = scope_path.startswith("service/")
         for node in ast.walk(tree):
             if not isinstance(node, ast.Call):
                 continue
             path = dotted(node.func, names)
             if path in _WALL_CLOCK:
+                if in_service and path in _SERVICE_CLOCK_ALLOWLIST:
+                    continue
                 findings.append((
                     node.lineno, node.col_offset,
                     f"'{path}' reads the wall clock; measurement and "
                     "simulation code runs on logical campaign time only "
-                    "(benchmarks are exempt by scope)"))
+                    "(benchmarks are exempt by scope; service modules "
+                    "may use time.monotonic for latency instrumentation)"))
         return findings
 
 
@@ -579,6 +600,176 @@ class UnboundedRecordAccumulation(Rule):
         return findings
 
 
+#: Queue constructors R009 requires an explicit bound for.  ``maxsize``
+#: may be passed positionally or by keyword; ``queue.SimpleQueue`` has
+#: no bound parameter at all, so it is always flagged in service scope.
+_BOUNDED_QUEUE_TYPES = frozenset({
+    "asyncio.Queue", "asyncio.LifoQueue", "asyncio.PriorityQueue",
+    "queue.Queue", "queue.LifoQueue", "queue.PriorityQueue",
+})
+_UNBOUNDABLE_QUEUE_TYPES = frozenset({"queue.SimpleQueue"})
+
+#: In-place growth methods on dict/list/set/deque that R009 watches on
+#: empty-initialised long-lived containers.
+_GROWTH_METHODS = frozenset({
+    "append", "appendleft", "add", "setdefault", "extend", "update",
+})
+
+#: Bare constructors that create an empty, unbounded container.
+_EMPTY_CONTAINER_CTORS = frozenset({
+    "dict", "list", "set", "collections.OrderedDict",
+    "collections.defaultdict", "collections.deque",
+})
+
+
+def _is_empty_container_init(node: ast.expr,
+                             names: Dict[str, str]) -> bool:
+    """Is this expression an empty dict/list/set literal or constructor?
+
+    A ``deque`` with an explicit non-None ``maxlen`` is bounded and
+    therefore *not* matched.
+    """
+    if isinstance(node, (ast.Dict, ast.List, ast.Set)):
+        return not getattr(node, "keys", None) and not getattr(
+            node, "elts", None)
+    if isinstance(node, ast.Call):
+        path = dotted(node.func, names)
+        if path == "collections.deque":
+            for keyword in node.keywords:
+                if (keyword.arg == "maxlen"
+                        and not (isinstance(keyword.value, ast.Constant)
+                                 and keyword.value.value is None)):
+                    return False
+            if len(node.args) >= 2:
+                return False
+            return True
+        if path == "collections.defaultdict":
+            return True
+        return path in _EMPTY_CONTAINER_CTORS and not node.args
+    return False
+
+
+def _container_key(node: ast.expr) -> Optional[str]:
+    """Stable key for a tracked container reference, or None.
+
+    ``self.X`` attributes key as ``self.X``; module-level bare names key
+    as the name itself.  Anything else (locals are not tracked — they
+    die with the call frame) returns None.
+    """
+    if (isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"):
+        return f"self.{node.attr}"
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+class UnboundedServiceGrowth(Rule):
+    id = "R009"
+    title = "unbounded queue/container growth in service code"
+
+    def applies_to(self, scope_path: str) -> bool:
+        return scope_path.startswith("service/")
+
+    def check(self, tree: ast.Module, names: Dict[str, str],
+              scope_path: str) -> List[Finding]:
+        findings: List[Finding] = []
+        findings.extend(self._check_queues(tree, names))
+        findings.extend(self._check_container_growth(tree, names))
+        return findings
+
+    def _check_queues(self, tree: ast.Module,
+                      names: Dict[str, str]) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            path = dotted(node.func, names)
+            if path in _UNBOUNDABLE_QUEUE_TYPES:
+                findings.append((
+                    node.lineno, node.col_offset,
+                    f"'{path}' cannot be bounded; a long-running service "
+                    "must cap its queues (use queue.Queue(maxsize=...))"))
+                continue
+            if path not in _BOUNDED_QUEUE_TYPES:
+                continue
+            bound: Optional[ast.expr] = None
+            if node.args:
+                bound = node.args[0]
+            for keyword in node.keywords:
+                if keyword.arg == "maxsize":
+                    bound = keyword.value
+            unbounded = bound is None or (
+                isinstance(bound, ast.Constant)
+                and isinstance(bound.value, (int, float))
+                and bound.value <= 0)
+            if unbounded:
+                findings.append((
+                    node.lineno, node.col_offset,
+                    f"'{path}' constructed without a positive maxsize; "
+                    "an uncapped queue in a long-running service grows "
+                    "without bound under overload — cap it and shed"))
+        return findings
+
+    def _check_container_growth(self, tree: ast.Module,
+                                names: Dict[str, str]) -> List[Finding]:
+        # Locals die with their call frame and are deliberately not
+        # tracked; only ``self.X`` attributes (anywhere) and bare names
+        # bound at module level live for the daemon's lifetime.
+        tracked: Set[str] = set()
+        for node in ast.walk(tree):
+            targets: List[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+                value = node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets = [node.target]
+                value = node.value
+            else:
+                continue
+            if not _is_empty_container_init(value, names):
+                continue
+            for target in targets:
+                key = _container_key(target)
+                if key is not None and key.startswith("self."):
+                    tracked.add(key)
+        for node in tree.body:
+            targets = []
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+                value = node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets = [node.target]
+                value = node.value
+            else:
+                continue
+            if not _is_empty_container_init(value, names):
+                continue
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    tracked.add(target.id)
+        if not tracked:
+            return []
+        findings: List[Finding] = []
+        message = (
+            "grows an empty-initialised long-lived container without a "
+            "bound; service state must live in a bounded structure "
+            "(LruCache, capped queue) or be explicitly evicted")
+        for node in ast.walk(tree):
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _GROWTH_METHODS
+                    and _container_key(node.func.value) in tracked):
+                findings.append((node.lineno, node.col_offset, message))
+            elif (isinstance(node, ast.Assign)
+                  and len(node.targets) == 1
+                  and isinstance(node.targets[0], ast.Subscript)
+                  and _container_key(node.targets[0].value) in tracked):
+                findings.append((node.lineno, node.col_offset, message))
+        return findings
+
+
 ALL_RULES: Tuple[Rule, ...] = (
     UnseededRandomness(),
     WallClock(),
@@ -588,6 +779,7 @@ ALL_RULES: Tuple[Rule, ...] = (
     UnorderedReduction(),
     PerPanelBankLoop(),
     UnboundedRecordAccumulation(),
+    UnboundedServiceGrowth(),
 )
 
 RULE_IDS: Tuple[str, ...] = tuple(rule.id for rule in ALL_RULES)
