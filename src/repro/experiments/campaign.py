@@ -197,7 +197,7 @@ class CampaignAggregator:
     without ever holding more than the uncertain skeletons in memory.
     """
 
-    def __init__(self, scenario: Scenario):
+    def __init__(self, scenario: Scenario) -> None:
         self._scenario = scenario
         self._settled = RecordTally()
         self._providers: Dict[str, Dict[str, int]] = {}

@@ -25,9 +25,12 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
-from typing import FrozenSet, Iterable, List, Optional, Tuple
+from typing import TYPE_CHECKING, FrozenSet, Iterable, List, Optional, Tuple
 
 from ..netsim.faults import resolve_fault_profile
+
+if TYPE_CHECKING:  # import-free at runtime: epoch loads before verdict
+    from ..experiments.scenario import Scenario
 
 
 @dataclass(frozen=True)
@@ -46,7 +49,7 @@ class TopologyEpoch:
     profile_name: Optional[str]
 
     @classmethod
-    def capture(cls, scenario, seed: int = 0,
+    def capture(cls, scenario: "Scenario", seed: int = 0,
                 fault_profile: Optional[object] = None,
                 quarantined: Iterable[str] = ()) -> "TopologyEpoch":
         """Digest a scenario's current measurement substrate.

@@ -49,7 +49,7 @@ class ServiceFrontend:
 
     def __init__(self, service: VerdictService,
                  queue_max: Optional[int] = None,
-                 batch_max: Optional[int] = None):
+                 batch_max: Optional[int] = None) -> None:
         from .verdict import _knob_or
 
         self.service = service

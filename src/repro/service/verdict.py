@@ -47,14 +47,18 @@ from ..core.assessment import assess_claim
 from ..core.base import GeolocationAlgorithm
 from ..core.cbgpp import CBGPlusPlus
 from ..core.disambiguation import AuditRecord
+from ..core.observations import RttObservation
 from ..core.proxy_adapter import ProxyMeasurer
 from ..core.resilience import RetryPolicy
 from ..core.twophase import (
     MIN_MULTILATERATION_OBSERVATIONS,
     TwoPhaseDriver,
+    TwoPhaseMeasurement,
+    TwoPhaseResult,
     TwoPhaseSelector,
 )
 from ..experiments.audit import AuditSink, campaign_eta
+from ..experiments.scenario import Scenario
 from ..geo.region import Region
 from ..lrucache import CacheInfo, LruCache
 from ..netsim.atlas import Landmark
@@ -64,6 +68,10 @@ from .epoch import EpochRollStats, TopologyEpoch
 
 #: A query target: a server object, a fleet host id, or a hostname.
 Target = Union[ProxyServer, int, str]
+
+#: A verdict query: a bare target (claim defaults to the server's own
+#: claimed country) or a ``(target, claim)`` pair.
+Query = Union[Target, Tuple[Target, Optional[str]]]
 
 #: One evaluated measurement, in fork-safe wire form: ``(host_id,
 #: packed region bytes, deduced continent, used landmark names,
@@ -162,7 +170,7 @@ class VerdictCache:
     cannot drift between the two call sites.
     """
 
-    def __init__(self, maxsize: int):
+    def __init__(self, maxsize: int) -> None:
         self._entries: "LruCache[Tuple[int, str, str], CachedVerdict]" = \
             LruCache(maxsize=maxsize)
 
@@ -233,14 +241,14 @@ class VerdictService:
     for network access.
     """
 
-    def __init__(self, scenario, seed: int = 0,
+    def __init__(self, scenario: Scenario, seed: int = 0,
                  fault_profile: Optional[object] = None,
                  algorithm: Optional[GeolocationAlgorithm] = None,
                  cache_slots: Optional[int] = None,
                  batch_max: Optional[int] = None,
                  workers: Optional[int] = None,
                  retry_policy: Optional[RetryPolicy] = None,
-                 quarantined: Iterable[str] = ()):
+                 quarantined: Iterable[str] = ()) -> None:
         self.scenario = scenario
         self.seed = seed
         # Keep the *unresolved* profile argument: TopologyEpoch.capture
@@ -291,7 +299,8 @@ class VerdictService:
         """One claim verdict (claim defaults to the server's own)."""
         return self.verdict_batch([(target, claim)])[0]
 
-    def verdict_batch(self, queries: Sequence) -> List[VerdictResponse]:
+    def verdict_batch(self, queries: Sequence[Query]
+                      ) -> List[VerdictResponse]:
         """Verdicts for many queries, coalescing uncached measurement.
 
         Each query is a target (server / fleet host id / hostname) or a
@@ -450,7 +459,7 @@ class VerdictService:
 
     # -- evaluation back end --------------------------------------------------
 
-    def _normalize(self, query) -> Tuple[ProxyServer, str]:
+    def _normalize(self, query: Query) -> Tuple[ProxyServer, str]:
         if isinstance(query, tuple):
             target, claim = query
         else:
@@ -515,7 +524,9 @@ class VerdictService:
                 measurement.region_bytes).hexdigest(),
             cached=cached)
 
-    def _measure_one(self, server: ProxyServer):
+    def _measure_one(self, server: ProxyServer
+                     ) -> Tuple[Union[TwoPhaseMeasurement,
+                                      MeasurementFailed], Set[str]]:
         """Collect one server's measurement under the quarantine filter.
 
         RNG keying, measurer construction, and measurement-epoch scoping
@@ -534,7 +545,7 @@ class VerdictService:
         requested: Set[str] = set()
         quarantined = self._quarantined
 
-        def measure(landmarks: Sequence[Landmark]):
+        def measure(landmarks: Sequence[Landmark]) -> List[RttObservation]:
             requested.update(lm.name for lm in landmarks)
             kept = [lm for lm in landmarks if lm.name not in quarantined]
             return measurer.observe(kept)
@@ -587,7 +598,7 @@ class VerdictService:
         payloads.sort(key=lambda payload: order[payload[0]])
         return payloads
 
-    def _payload_from(self, host_id: int, result,
+    def _payload_from(self, host_id: int, result: TwoPhaseResult,
                       requested: Set[str]) -> _Payload:
         observations = (tuple(result.phase2_observations)
                         + tuple(result.phase1_observations))

@@ -141,9 +141,15 @@ class TestRaggedFleetProperty:
         fleets = []
         for _ in range(n_servers):
             size = int(rng.integers(3, 14))
-            picks = rng.choice(len(landmark_pool), size=size, replace=True)
+            # Three distinct picks first: merge_min collapses duplicate
+            # landmarks, and a panel that merges below 3 observations is
+            # rejected by require_observations in scalar and fleet alike.
+            base = rng.choice(len(landmark_pool), size=3, replace=False)
+            extra = rng.choice(len(landmark_pool), size=size - 3,
+                               replace=True)
+            picks = np.concatenate([base, extra])
             panel = []
-            for pick in picks:   # replace=True → duplicate landmarks
+            for pick in picks:   # replace=True tail → duplicate landmarks
                 landmark = landmark_pool[int(pick)]
                 panel.append(RttObservation(
                     landmark_name=landmark.name,

@@ -464,9 +464,10 @@ class TestEngine:
         source = "total = sum(d.values())  # reprolint: disable=R999\n"
         result = lint_source(source, path="m.py", scope_path="core/foo.py")
         report = report_json(result)
-        assert report["version"] == 1
+        assert report["version"] == 2
         assert report["tool"] == "reprolint"
         assert report["files_checked"] == 1
+        assert report["reparsed_files"] == 1
         assert report["ok"] is False
         for diagnostic in report["diagnostics"]:
             assert set(diagnostic) == {"path", "line", "col", "rule",
@@ -475,7 +476,8 @@ class TestEngine:
 
     def test_rule_ids_catalogue(self):
         assert RULE_IDS == ("R001", "R002", "R003", "R004", "R005", "R006",
-                            "R007", "R008", "R009")
+                            "R007", "R008", "R009",
+                            "R010", "R011", "R012", "R013")
 
 
 class TestCli:
@@ -504,6 +506,39 @@ class TestCli:
         report = json.loads(out.read_text())
         assert report["ok"] is False
         assert report["diagnostics"][0]["rule"] == "R006"
+
+    def test_directory_without_python_files_exits_two(self, tmp_path,
+                                                      capsys):
+        (tmp_path / "notes.txt").write_text("nothing to lint here\n")
+        assert main([str(tmp_path)]) == 2
+        assert "nothing analyzed" in capsys.readouterr().err
+
+    def test_empty_directory_exits_two(self, tmp_path, capsys):
+        assert main([str(tmp_path)]) == 2
+        assert "nothing analyzed" in capsys.readouterr().err
+
+    def test_exit_code_matrix(self, tmp_path, capsys):
+        """0 = clean, 1 = diagnostics, 2 = operational error."""
+        clean = tmp_path / "clean"
+        clean.mkdir()
+        (clean / "ok.py").write_text("x = 1\n")
+        dirty = tmp_path / "dirty"
+        dirty.mkdir()
+        (dirty / "bad.py").write_text("import random\nrandom.random()\n")
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        assert main([str(clean)]) == 0
+        assert main([str(dirty)]) == 1
+        assert main([str(empty)]) == 2
+        assert main([str(tmp_path / "missing")]) == 2
+        assert main(["--write-baseline", str(clean)]) == 2  # no --baseline
+        capsys.readouterr()
+
+    def test_list_rules_includes_project_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("R001", "R009", "R010", "R011", "R012", "R013"):
+            assert rule_id in out
 
 
 def test_repository_is_lint_clean():

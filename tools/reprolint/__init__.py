@@ -1,31 +1,50 @@
 """reprolint: the repository's determinism & invariant linter.
 
-An AST-based static analyser that encodes this reproduction's
-determinism contract as machine-checked rules (R001–R006; see
-``tools/reprolint/rules.py`` and DESIGN.md "Determinism contract &
-static analysis").  Run it as::
+A static analyser that encodes this reproduction's determinism
+contract as machine-checked rules.  Per-file AST rules (R001–R009)
+walk each module in isolation; whole-program rules (R010–R013, built
+on ``callgraph.py``/``dataflow.py``) track RNG generators, wall-clock
+values, and cache-key tuples across function and module boundaries.
+See DESIGN.md "Determinism contract & static analysis".  Run it as::
 
     python -m tools.reprolint src/
+    python -m tools.reprolint src/ --cache .reprolint-cache.json  # warm runs reparse only changed files
+    python -m tools.reprolint src/ --sarif reprolint.sarif        # code-scanning upload
 
 Diagnostics print as ``file:line:col: RULE message`` and the process
-exits non-zero when any active (unsuppressed) diagnostic remains.
+exits non-zero when any active (unsuppressed) diagnostic remains; a
+run that finds no Python files at all exits 2 ("nothing analyzed").
 Intentional exceptions are suppressed inline with::
 
     something_flagged()  # reprolint: disable=R002 (benchmark timer, not sim time)
 
 A suppression **must** carry a parenthesised reason; a reasonless (or
 unknown-rule) suppression is itself a diagnostic (R000) and does not
-silence anything.
+silence anything.  Pre-existing diagnostics can be grandfathered into
+a committed baseline (``--baseline`` / ``--write-baseline``); entries
+that stop firing are stale drift and fail the run.
 """
 
+from .callgraph import ModuleFacts, Project, extract_module_facts  # noqa: F401
+from .dataflow import run_project_rules  # noqa: F401
 from .engine import (  # noqa: F401  (public API re-exports)
     Diagnostic,
     LintResult,
     Suppression,
+    analyze_paths,
+    apply_baseline,
     lint_paths,
     lint_source,
+    load_baseline,
     main,
     render,
     report_json,
+    sarif_report,
+    write_baseline,
 )
-from .rules import ALL_RULES, RULE_IDS  # noqa: F401
+from .rules import (  # noqa: F401
+    ALL_RULES,
+    PER_FILE_RULE_IDS,
+    PROJECT_RULE_IDS,
+    RULE_IDS,
+)

@@ -782,7 +782,25 @@ ALL_RULES: Tuple[Rule, ...] = (
     UnboundedServiceGrowth(),
 )
 
-RULE_IDS: Tuple[str, ...] = tuple(rule.id for rule in ALL_RULES)
+#: Per-file rule ids (the classes above).
+PER_FILE_RULE_IDS: Tuple[str, ...] = tuple(rule.id for rule in ALL_RULES)
+
+#: Inter-procedural rules implemented in tools/reprolint/dataflow.py.
+#: Registered here so suppression validation and --list-rules know the
+#: full catalogue without importing the whole-program machinery.
+PROJECT_RULE_IDS: Tuple[str, ...] = ("R010", "R011", "R012", "R013")
+
+PROJECT_RULE_TITLES: Dict[str, str] = {
+    "R010": "RNG generator escapes the per-(seed, host_id) stream "
+            "discipline",
+    "R011": "shared mutable state written from both fork-pool and "
+            "asyncio code",
+    "R012": "service/experiments cache key omits the epoch digest",
+    "R013": "blocking call reachable from a coroutine",
+}
+
+#: Every suppressible rule id (per-file + inter-procedural).
+RULE_IDS: Tuple[str, ...] = PER_FILE_RULE_IDS + PROJECT_RULE_IDS
 
 
 def extract_registered_knobs(tree: ast.Module) -> List[Tuple[str, int]]:
